@@ -1,0 +1,80 @@
+"""iBench-style scenarios: XR-Certain answering beyond the genomics mapping.
+
+The paper's concluding remarks propose evaluating the segmentary approach
+on broadly applicable schema-mapping benchmarks such as iBench.  This
+example composes iBench-style primitives (copy, fusion, vertical
+partitioning, attribute addition, self-join closure) into a fresh mapping,
+injects conflicts at a chosen rate, and compares the two engines on it.
+
+Run:  python examples/ibench_scenarios.py
+"""
+
+import time
+
+from repro.relational.queries import Atom, ConjunctiveQuery
+from repro.relational.terms import Variable
+from repro.scenarios import ScenarioBuilder
+from repro.xr.monolithic import MonolithicEngine
+from repro.xr.segmentary import SegmentaryEngine
+
+
+def main() -> None:
+    scenario = (
+        ScenarioBuilder()
+        .copy(arity=3)
+        .fusion(arity=3)
+        .vpartition(left=2, right=2)
+        .augment(arity=2, added=1)
+        .selfjoin(chain=3)
+        .build()
+    )
+    mapping = scenario.mapping
+    print("Composed mapping:", mapping)
+    print("Weakly acyclic:", mapping.is_weakly_acyclic())
+
+    instance = scenario.generate(keys_per_primitive=8, conflict_rate=0.25, seed=42)
+    print(f"Generated {len(instance)} source facts over "
+          f"{len(instance.relations())} relations\n")
+
+    engine = SegmentaryEngine(mapping, instance)
+    stats = engine.exchange()
+    print(
+        f"Exchange phase: {stats.seconds:.2f}s — {stats.violations} violations "
+        f"in {stats.clusters} clusters; suspect/safe = "
+        f"{stats.suspect_source_facts}/{stats.safe_source_facts}"
+    )
+
+    x, y = Variable("x"), Variable("y")
+    print(f"\n{'target':12s} {'certain':>8s} {'possible':>9s} {'seg(s)':>7s} {'mono(s)':>8s}")
+    for relation in sorted(mapping.target.names()):
+        arity = mapping.target.arity(relation)
+        if arity < 2:
+            continue
+        # Project the first two attributes: conflicted keys lose their
+        # specific rows (uncertain values) while keeping projected keys.
+        body = [Atom(relation, [x, y] + [Variable(f"w{i}") for i in range(arity - 2)])]
+        query = ConjunctiveQuery([x, y], body)
+
+        started = time.perf_counter()
+        certain = engine.answer(query)
+        segmentary_seconds = time.perf_counter() - started
+        possible = engine.possible_answers(query)
+
+        started = time.perf_counter()
+        monolithic = MonolithicEngine(mapping, instance).answer(query)
+        monolithic_seconds = time.perf_counter() - started
+        assert monolithic == certain
+
+        print(
+            f"{relation:12s} {len(certain):8d} {len(possible):9d} "
+            f"{segmentary_seconds:7.2f} {monolithic_seconds:8.2f}"
+        )
+
+    print(
+        "\nCertain ⊆ possible everywhere; the engines agree on every query; "
+        "conflicted keys drop out of the certain answers only."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Cautious and brave reasoning over stable models.
+
+The cautious answers to a query w.r.t. a program are the atoms true in
+**every** stable model (Section 2 of the paper); brave answers are true in
+**some** stable model.  Both are computed by iterative constraining, the
+same technique clingo uses (``--enum-mode=cautious``):
+
+- start from the first stable model;
+- keep a shrinking candidate set ``C``; repeatedly demand a stable model in
+  which some member of ``C`` is false; intersect; stop when none exists.
+
+Each added clause only excludes models that could not change the result, so
+a single engine instance (with all its learned clauses) is reused throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.asp.stable import StableModelEngine
+from repro.asp.syntax import GroundProgram
+
+
+def cautious_consequences(
+    program: GroundProgram,
+    query_atoms: Iterable[int],
+    engine: StableModelEngine | None = None,
+) -> frozenset[int] | None:
+    """Atoms among ``query_atoms`` true in every stable model.
+
+    Returns ``None`` when the program has no stable model at all (in which
+    case cautious consequence trivializes).
+    """
+    if engine is None:
+        engine = StableModelEngine(program)
+    first = engine.next_stable_model()
+    if first is None:
+        return None
+    candidates = frozenset(query_atoms) & first
+    while candidates:
+        engine.add_atom_clause([-atom for atom in candidates])
+        model = engine.next_stable_model()
+        if model is None:
+            break
+        candidates &= model
+    return candidates
+
+
+def brave_consequences(
+    program: GroundProgram,
+    query_atoms: Iterable[int],
+    engine: StableModelEngine | None = None,
+) -> frozenset[int] | None:
+    """Atoms among ``query_atoms`` true in at least one stable model.
+
+    Returns ``None`` when the program has no stable model.
+    """
+    if engine is None:
+        engine = StableModelEngine(program)
+    goal = frozenset(query_atoms)
+    first = engine.next_stable_model()
+    if first is None:
+        return None
+    found = goal & first
+    missing = goal - found
+    while missing:
+        engine.add_atom_clause(list(missing))
+        model = engine.next_stable_model()
+        if model is None:
+            break
+        found |= goal & model
+        missing = goal - found
+    return found

@@ -1,0 +1,359 @@
+"""Stable models of ground disjunctive programs.
+
+The engine follows the classic *generate and test* architecture (Janhunen et
+al.; also the architecture of claspD), built on the CDCL solver:
+
+- **Generate.**  A SAT encoding whose models overapproximate the stable
+  models: every rule becomes a clause, every rule body gets a definition
+  variable, and every true atom is required to have an *exclusive* supporting
+  rule (a rule whose body holds and in which it is the only true head atom —
+  a necessary condition for membership in a minimal model of the reduct).
+- **Test.**  A candidate model ``M`` is stable iff it is a minimal model of
+  its reduct.  For normal programs this is a linear-time least-model
+  computation (Dowling–Gallier); for truly disjunctive programs it is a
+  co-NP check, performed with a second, small SAT instance over the atoms
+  of ``M``.
+- **Refine.**  A failed candidate yields an unfounded set ``U``; the engine
+  adds the (conjunctive) loop formulas of ``U`` (Lin–Zhao / ASSAT for normal
+  programs, Lee's model-theoretic generalization for disjunctive ones),
+  which are valid in every stable model and exclude the candidate.
+
+Head-cycle-free disjunctive programs are *shifted* into equivalent normal
+programs first (Ben-Eliyahu & Dechter), enabling the fast minimality test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import networkx as nx
+
+from repro.asp.sat import SatSolver
+from repro.asp.syntax import GroundProgram, GroundRule
+
+
+def is_head_cycle_free(rules: Iterable[GroundRule]) -> bool:
+    """True if no two atoms in one disjunctive head share a positive cycle."""
+    rules = list(rules)
+    graph = nx.DiGraph()
+    for rule in rules:
+        for head_atom in rule.head:
+            graph.add_node(head_atom)
+            for body_atom in rule.body_pos:
+                graph.add_edge(head_atom, body_atom)
+    component_of: dict[int, int] = {}
+    for index, component in enumerate(nx.strongly_connected_components(graph)):
+        for node in component:
+            component_of[node] = index
+    for rule in rules:
+        if len(rule.head) < 2:
+            continue
+        components = [component_of[a] for a in rule.head]
+        if len(set(components)) < len(components):
+            return False
+    return True
+
+
+def shift_disjunctions(rules: Iterable[GroundRule]) -> list[GroundRule]:
+    """Shift ``a1 ∨ ... ∨ an ← B`` into ``ai ← B, ¬a1, ..., ¬an (j≠i)``.
+
+    Sound and complete for head-cycle-free programs.
+    """
+    shifted: list[GroundRule] = []
+    for rule in rules:
+        if len(rule.head) < 2:
+            shifted.append(rule)
+            continue
+        for position, head_atom in enumerate(rule.head):
+            others = rule.head[:position] + rule.head[position + 1:]
+            shifted.append(
+                GroundRule(
+                    head=(head_atom,),
+                    body_pos=rule.body_pos,
+                    body_neg=rule.body_neg + others,
+                )
+            )
+    return shifted
+
+
+class StableModelEngine:
+    """Enumerates the stable models of a ground disjunctive program.
+
+    Usage::
+
+        engine = StableModelEngine(program)
+        for model in engine.stable_models():      # sets of atom ids
+            ...
+
+    The engine is incremental: :meth:`add_atom_clause` installs additional
+    clauses over atom ids between calls (used by cautious reasoning), and
+    :meth:`next_stable_model` resumes enumeration.
+    """
+
+    def __init__(self, program: GroundProgram, auto_shift: bool = True):
+        self.program = program
+        rules = list(program.rules)
+        self.was_shifted = False
+        if any(r.is_disjunctive() for r in rules):
+            if auto_shift and is_head_cycle_free(rules):
+                rules = shift_disjunctions(rules)
+                self.was_shifted = True
+        self.rules = rules
+        self.is_normal = all(len(r.head) <= 1 for r in self.rules)
+        self.num_atoms = program.num_atoms
+        self._exhausted = False
+        self._build_generator()
+        self._add_upfront_loop_formulas()
+
+    # ---------------------------------------------------------- generation
+
+    def _build_generator(self) -> None:
+        solver = SatSolver(self.num_atoms)
+        self.solver = solver
+        self.true_var = solver.new_var()
+        solver.add_clause([self.true_var])
+
+        # Body definition variables, one per rule: beta <-> conj(body).
+        self.body_var: list[int] = []
+        for rule in self.rules:
+            if not rule.body_pos and not rule.body_neg:
+                self.body_var.append(self.true_var)
+                continue
+            beta = solver.new_var()
+            self.body_var.append(beta)
+            reverse_clause = [beta]
+            for atom in rule.body_pos:
+                solver.add_clause([-beta, atom])
+                reverse_clause.append(-atom)
+            for atom in rule.body_neg:
+                solver.add_clause([-beta, -atom])
+                reverse_clause.append(atom)
+            solver.add_clause(reverse_clause)
+
+        # Rule clauses: body -> head disjunction.
+        heads_of: dict[int, list[int]] = {}
+        for index, rule in enumerate(self.rules):
+            beta = self.body_var[index]
+            solver.add_clause([-beta] + list(rule.head))
+            for atom in rule.head:
+                heads_of.setdefault(atom, []).append(index)
+
+        # Exclusive-support clauses: a true atom needs a rule whose body
+        # holds and in which it is the only true head atom.
+        self._exclusive_var_cache: dict[tuple[int, int], int] = {}
+        for atom in range(1, self.num_atoms + 1):
+            rule_indexes = heads_of.get(atom)
+            if not rule_indexes:
+                solver.add_clause([-atom])
+                continue
+            support_literals: list[int] = []
+            trivially_supported = False
+            for index in rule_indexes:
+                rule = self.rules[index]
+                if len(rule.head) == 1:
+                    if self.body_var[index] == self.true_var:
+                        trivially_supported = True
+                        break
+                    support_literals.append(self.body_var[index])
+                else:
+                    support_literals.append(self._exclusive_support_var(index, atom))
+            if not trivially_supported:
+                solver.add_clause([-atom] + support_literals)
+
+        # Bias the first candidates toward small models.
+        for var in range(1, solver.num_vars + 1):
+            solver.set_default_phase(var, False)
+
+    def _exclusive_support_var(self, rule_index: int, atom: int) -> int:
+        """An aux var implying: body of rule holds and no *other* head atom is true."""
+        key = (rule_index, atom)
+        cached = self._exclusive_var_cache.get(key)
+        if cached is not None:
+            return cached
+        sigma = self.solver.new_var()
+        self.solver.add_clause([-sigma, self.body_var[rule_index]])
+        for other in self.rules[rule_index].head:
+            if other != atom:
+                self.solver.add_clause([-sigma, -other])
+        self._exclusive_var_cache[key] = sigma
+        return sigma
+
+    # ------------------------------------------------------------- testing
+
+    def _least_model_of_reduct(self, model: frozenset[int]) -> set[int]:
+        """Least model of the reduct w.r.t. ``model`` (normal programs only).
+
+        Because ``model`` satisfies the program, the least model is a subset
+        of ``model``.
+        """
+        remaining: dict[int, int] = {}
+        watchers: dict[int, list[int]] = {}
+        derived: set[int] = set()
+        queue: list[int] = []
+        for index, rule in enumerate(self.rules):
+            if not rule.head:
+                continue
+            if any(atom in model for atom in rule.body_neg):
+                continue  # rule removed by the reduct
+            unique_body = set(rule.body_pos)
+            if not unique_body:
+                queue.append(index)
+            else:
+                remaining[index] = len(unique_body)
+                for atom in unique_body:
+                    watchers.setdefault(atom, []).append(index)
+
+        while queue:
+            index = queue.pop()
+            head_atom = self.rules[index].head[0]
+            if head_atom in derived:
+                continue
+            derived.add(head_atom)
+            for watching in watchers.get(head_atom, ()):
+                remaining[watching] -= 1
+                if remaining[watching] == 0:
+                    queue.append(watching)
+        return derived
+
+    def _minimality_witness(self, model: frozenset[int]) -> frozenset[int] | None:
+        """For disjunctive programs: a model of the reduct strictly inside
+        ``model``, or None if ``model`` is minimal (hence stable)."""
+        atom_list = sorted(model)
+        local_of = {atom: index + 1 for index, atom in enumerate(atom_list)}
+        checker = SatSolver(len(atom_list))
+        for rule in self.rules:
+            if not rule.head and not rule.body_pos:
+                continue
+            if any(atom in model for atom in rule.body_neg):
+                continue
+            if any(atom not in model for atom in rule.body_pos):
+                continue  # some body atom is false in every subset of model
+            clause = [-local_of[atom] for atom in rule.body_pos]
+            clause.extend(local_of[atom] for atom in rule.head if atom in model)
+            checker.add_clause(clause)
+        checker.add_clause([-local_of[atom] for atom in atom_list])
+        if not checker.solve():
+            return None
+        values = checker.model()
+        return frozenset(atom for atom in atom_list if values[local_of[atom]])
+
+    # ------------------------------------------------------------ refining
+
+    def _positive_dependency_graph(self) -> nx.DiGraph:
+        graph = nx.DiGraph()
+        for rule in self.rules:
+            for head_atom in rule.head:
+                graph.add_node(head_atom)
+                for body_atom in rule.body_pos:
+                    graph.add_edge(head_atom, body_atom)
+        return graph
+
+    def _add_upfront_loop_formulas(self) -> None:
+        """Install loop formulas for every SCC of the positive dependency
+        graph before search starts.
+
+        Cyclically-supporting atom groups (e.g. a symmetric pair derived
+        from each other) otherwise survive the generator and have to be
+        eliminated one failed candidate at a time.  Inner loops strictly
+        inside an SCC are still handled on demand by the refinement step.
+        """
+        graph = self._positive_dependency_graph()
+        for component in nx.strongly_connected_components(graph):
+            if len(component) >= 2:
+                self._add_loop_clauses(frozenset(component))
+
+    def _refine_with_unfounded(self, unfounded: frozenset[int]) -> None:
+        """Add loop formulas for each SCC of the unfounded set (decomposing
+        yields several stronger formulas instead of one weak one)."""
+        subgraph = nx.DiGraph()
+        subgraph.add_nodes_from(unfounded)
+        for rule in self.rules:
+            for head_atom in rule.head:
+                if head_atom not in unfounded:
+                    continue
+                for body_atom in rule.body_pos:
+                    if body_atom in unfounded:
+                        subgraph.add_edge(head_atom, body_atom)
+        for component in nx.strongly_connected_components(subgraph):
+            self._add_loop_clauses(frozenset(component))
+
+    def _add_loop_clauses(self, unfounded: frozenset[int]) -> None:
+        """Add the loop formulas of the unfounded set (valid in all stable
+        models; exclude the current candidate)."""
+        external_literals: list[int] = []
+        for index, rule in enumerate(self.rules):
+            if not rule.head:
+                continue
+            if not any(atom in unfounded for atom in rule.head):
+                continue
+            if any(atom in unfounded for atom in rule.body_pos):
+                continue
+            outside_head = [atom for atom in rule.head if atom not in unfounded]
+            if not outside_head:
+                external_literals.append(self.body_var[index])
+            else:
+                tau = self.solver.new_var()
+                self.solver.add_clause([-tau, self.body_var[index]])
+                for atom in outside_head:
+                    self.solver.add_clause([-tau, -atom])
+                external_literals.append(tau)
+        for atom in unfounded:
+            self.solver.add_clause([-atom] + external_literals)
+
+    # ----------------------------------------------------------- interface
+
+    def add_atom_clause(self, literals: Sequence[int]) -> None:
+        """Install a clause over atom ids (positive/negative integers).
+
+        Used by cautious/brave reasoning to steer enumeration.  The clause
+        must only mention atom ids (not solver-internal variables).
+        """
+        for literal in literals:
+            if abs(literal) > self.num_atoms:
+                raise ValueError(f"literal {literal} is not an atom id")
+        if not self.solver.add_clause(list(literals)):
+            self._exhausted = True
+
+    def next_stable_model(self) -> frozenset[int] | None:
+        """The next stable model (a frozenset of atom ids), or None."""
+        if self._exhausted:
+            return None
+        while True:
+            if not self.solver.solve():
+                self._exhausted = True
+                return None
+            values = self.solver.model()
+            candidate = frozenset(
+                atom for atom in range(1, self.num_atoms + 1) if values[atom]
+            )
+            if self.is_normal:
+                least = self._least_model_of_reduct(candidate)
+                if least == candidate:
+                    self._exclude(candidate)
+                    return candidate
+                self._refine_with_unfounded(frozenset(candidate - least))
+            else:
+                witness = self._minimality_witness(candidate)
+                if witness is None:
+                    self._exclude(candidate)
+                    return candidate
+                self._refine_with_unfounded(frozenset(candidate - witness))
+
+    def _exclude(self, model: frozenset[int]) -> None:
+        """Exclude exactly this atom assignment (for enumeration)."""
+        clause = [
+            -atom if atom in model else atom
+            for atom in range(1, self.num_atoms + 1)
+        ]
+        if not self.solver.add_clause(clause):
+            self._exhausted = True
+
+    def stable_models(self, limit: int | None = None) -> Iterator[frozenset[int]]:
+        """Yield stable models until exhaustion (or ``limit`` models)."""
+        produced = 0
+        while limit is None or produced < limit:
+            model = self.next_stable_model()
+            if model is None:
+                return
+            produced += 1
+            yield model

@@ -1,0 +1,16 @@
+"""Benchmark harness: instance caching, timing, and paper-style reporting."""
+
+from repro.bench.runner import (
+    BenchmarkContext,
+    QueryResult,
+    run_query_suite,
+)
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "BenchmarkContext",
+    "QueryResult",
+    "run_query_suite",
+    "format_series",
+    "format_table",
+]

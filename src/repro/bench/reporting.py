@@ -1,0 +1,38 @@
+"""Plain-text table and series formatting for benchmark output.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Sequence[tuple[object, float]],
+    unit: str = "s",
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs (one per point)."""
+    body = "  ".join(f"{x}={y:.3f}{unit}" for x, y in points)
+    return f"{name}: {body}"

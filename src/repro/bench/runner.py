@@ -1,0 +1,85 @@
+"""Benchmark execution helpers.
+
+``BenchmarkContext`` memoizes the expensive shared artifacts (the reduced
+genome mapping, generated instances, warm segmentary engines) across
+benchmark functions within one pytest session, so each table/figure bench
+only pays for what it measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.genomics.instances import INSTANCE_PROFILES, build_instance
+from repro.genomics.generator import GeneratedInstance
+from repro.genomics.queries import query_by_name
+from repro.genomics.schema import genome_mapping
+from repro.reduction.reduce import ReducedMapping, reduce_mapping
+from repro.xr.monolithic import MonolithicEngine
+from repro.xr.segmentary import SegmentaryEngine
+
+
+@dataclass
+class QueryResult:
+    """One (engine, instance, query) measurement."""
+
+    query: str
+    seconds: float
+    answers: int
+
+
+@dataclass
+class BenchmarkContext:
+    """Session-wide cache of reduced mapping, instances, and engines."""
+
+    _reduced: ReducedMapping | None = None
+    _instances: dict[str, GeneratedInstance] = field(default_factory=dict)
+    _segmentary: dict[str, SegmentaryEngine] = field(default_factory=dict)
+
+    def reduced_mapping(self) -> ReducedMapping:
+        if self._reduced is None:
+            self._reduced = reduce_mapping(genome_mapping())
+        return self._reduced
+
+    def instance(self, profile: str) -> GeneratedInstance:
+        if profile not in self._instances:
+            self._instances[profile] = build_instance(INSTANCE_PROFILES[profile])
+        return self._instances[profile]
+
+    def segmentary_engine(self, profile: str) -> SegmentaryEngine:
+        """A segmentary engine with its exchange phase already run."""
+        if profile not in self._segmentary:
+            engine = SegmentaryEngine(
+                self.reduced_mapping(), self.instance(profile).instance
+            )
+            engine.exchange()
+            self._segmentary[profile] = engine
+        return self._segmentary[profile]
+
+    def monolithic_engine(self, profile: str) -> MonolithicEngine:
+        """A fresh monolithic engine (no shared state: the monolithic cost
+        model pays for everything per query)."""
+        return MonolithicEngine(
+            self.reduced_mapping(), self.instance(profile).instance
+        )
+
+
+def run_query_suite(
+    engine: MonolithicEngine | SegmentaryEngine,
+    query_names: list[str],
+) -> list[QueryResult]:
+    """Time each named Table 3 query on an engine."""
+    results = []
+    for name in query_names:
+        query = query_by_name(name)
+        started = time.perf_counter()
+        answers = engine.answer(query)
+        results.append(
+            QueryResult(
+                query=name,
+                seconds=time.perf_counter() - started,
+                answers=len(answers),
+            )
+        )
+    return results

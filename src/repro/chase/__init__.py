@@ -1,0 +1,31 @@
+"""Chase procedures.
+
+Two engines:
+
+- :mod:`repro.chase.standard` — the standard chase for ``glav+(wa-glav, egd)``
+  mappings: tgd steps invent labelled nulls, egd steps unify values (failing
+  on two distinct constants).  Produces the canonical universal solution when
+  it succeeds.  Used by the naive oracle, solution-existence checks, and
+  tests.
+- :mod:`repro.chase.gav` — a semi-naive bottom-up evaluator for GAV rules
+  (possibly with skolem terms in heads, as produced by the Theorem 1
+  reduction).  This is the engine behind the quasi-solution, the exchange
+  phase, and the enumeration of rule groundings (support sets).
+"""
+
+from repro.chase.result import ChaseResult
+from repro.chase.standard import (
+    canonical_universal_solution,
+    has_solution,
+    standard_chase,
+)
+from repro.chase.gav import enumerate_groundings, gav_chase
+
+__all__ = [
+    "ChaseResult",
+    "standard_chase",
+    "canonical_universal_solution",
+    "has_solution",
+    "gav_chase",
+    "enumerate_groundings",
+]

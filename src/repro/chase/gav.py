@@ -1,0 +1,139 @@
+"""Semi-naive chase for GAV rules (with optional skolem-term heads).
+
+After the Theorem 1 reduction, every rule has a single head atom whose terms
+are frontier variables, constants, or skolem terms, and no labelled nulls
+are ever created: skolem values play their role.  This makes the chase a
+plain datalog fixpoint, evaluated semi-naively — each round only considers
+rule bodies with at least one atom matched in the most recent delta.
+
+The same matcher also enumerates *groundings*: the instantiations of a rule
+whose body facts all hold in a given instance.  Grounding enumeration is the
+basis of support sets (Definition 4) and of the Figure 1 program grounding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.dependencies.tgds import TGD, SkolemTerm
+from repro.relational.instance import Fact, Instance
+from repro.relational.queries import Atom, match_atoms
+from repro.relational.terms import Const, Variable
+
+
+def _unify_atom_with_fact(
+    atom: Atom, fact: Fact, binding: dict[Variable, Any]
+) -> dict[Variable, Any] | None:
+    """Extend ``binding`` so that ``atom`` matches ``fact``, or None."""
+    if atom.relation != fact.relation or len(atom.terms) != len(fact.args):
+        return None
+    local = dict(binding)
+    for term, value in zip(atom.terms, fact.args):
+        if isinstance(term, Variable):
+            if term in local:
+                if local[term] != value:
+                    return None
+            else:
+                local[term] = value
+        elif isinstance(term, Const):
+            if term.value != value:
+                return None
+        else:
+            raise TypeError(f"unexpected body term {term!r}")
+    return local
+
+
+def ground_head(rule: TGD, binding: dict[Variable, Any]) -> Fact:
+    """Instantiate the (single) head atom of a GAV rule under ``binding``."""
+    atom = rule.head[0]
+    args = []
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            args.append(binding[term])
+        elif isinstance(term, Const):
+            args.append(term.value)
+        elif isinstance(term, SkolemTerm):
+            args.append(term.ground(binding))
+        else:
+            raise TypeError(f"unexpected head term {term!r}")
+    return Fact(atom.relation, args)
+
+
+def _check_rules(rules: Sequence[TGD]) -> None:
+    for rule in rules:
+        if not rule.is_gav():
+            raise ValueError(
+                f"{rule.label}: gav_chase requires GAV rules "
+                "(single head atom, no existential variables)"
+            )
+
+
+def gav_chase(
+    instance: Instance,
+    rules: Sequence[TGD],
+    max_rounds: int = 1_000_000,
+) -> Instance:
+    """Compute the least fixpoint of ``rules`` over ``instance`` (a copy).
+
+    Semi-naive evaluation: round ``k`` matches each rule body with at least
+    one atom bound to a fact derived in round ``k - 1``.
+    """
+    _check_rules(rules)
+    work = instance.copy()
+    delta = list(instance)
+
+    # Index rules by body relation so a delta fact only wakes relevant rules.
+    by_relation: dict[str, list[tuple[TGD, int]]] = {}
+    for rule in rules:
+        for index, atom in enumerate(rule.body):
+            by_relation.setdefault(atom.relation, []).append((rule, index))
+
+    rounds = 0
+    while delta:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(f"gav_chase exceeded {max_rounds} rounds")
+        next_delta: list[Fact] = []
+        for fact in delta:
+            for rule, pivot in by_relation.get(fact.relation, ()):
+                seed = _unify_atom_with_fact(rule.body[pivot], fact, {})
+                if seed is None:
+                    continue
+                rest = [a for i, a in enumerate(rule.body) if i != pivot]
+                # Buffer heads: adding to `work` while match_atoms iterates
+                # over it would mutate the live extension sets.
+                derived = [
+                    ground_head(rule, binding)
+                    for binding in match_atoms(work, rest, seed)
+                ]
+                for head_fact in derived:
+                    if work.add(head_fact):
+                        next_delta.append(head_fact)
+        delta = next_delta
+    return work
+
+
+def enumerate_groundings(
+    rules: Iterable[TGD],
+    instance: Instance,
+) -> Iterator[tuple[TGD, tuple[Fact, ...], Fact]]:
+    """Yield every grounding ``(rule, body_facts, head_fact)`` over ``instance``.
+
+    A grounding is an instantiation of the rule whose body facts all hold in
+    the instance.  Duplicate bindings that produce the same (body, head)
+    pair are deduplicated per rule.  *Tautological* groundings — the head
+    fact occurring in its own body (e.g. transitivity instantiated with a
+    reflexive premise) — are dropped: they can never contribute a genuine
+    derivation or support set.
+    """
+    for rule in rules:
+        seen: set[tuple[tuple[Fact, ...], Fact]] = set()
+        for binding in match_atoms(instance, list(rule.body)):
+            body_facts = tuple(atom.substitute(binding) for atom in rule.body)
+            head_fact = ground_head(rule, binding)
+            if head_fact in body_facts:
+                continue
+            key = (body_facts, head_fact)
+            if key not in seen:
+                seen.add(key)
+                yield rule, body_facts, head_fact

@@ -1,0 +1,30 @@
+"""Result object for chase runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.instance import Instance
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run.
+
+    ``failed`` is True when an egd tried to equate two distinct constants;
+    in that case ``solution`` is None and ``failure`` describes the clash.
+    On success, ``solution`` is the full chased instance (source facts plus
+    derived target facts) and ``target`` its restriction to target relations
+    — the canonical universal solution.
+    """
+
+    failed: bool
+    solution: Instance | None = None
+    target: Instance | None = None
+    failure: str | None = None
+    steps: int = 0
+    nulls_created: int = 0
+    merges: int = field(default=0)
+
+    def __bool__(self) -> bool:
+        return not self.failed

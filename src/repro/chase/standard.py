@@ -1,0 +1,246 @@
+"""The standard chase for ``glav+(wa-glav, egd)`` schema mappings.
+
+The chase starts from a source instance, applies the source-to-target tgds,
+then saturates the target tgds and egds:
+
+- a **tgd step** fires on an *active trigger* — a binding of the body that
+  cannot be extended to satisfy the head — and adds the head facts with
+  fresh labelled nulls for the existential variables;
+- an **egd step** fires on a body binding with ``lhs ≠ rhs``; if both values
+  are distinct constants the chase **fails**, otherwise the null among them
+  is replaced everywhere by the other value.
+
+For weakly acyclic target tgds the procedure terminates in polynomially many
+steps (Fagin et al. 2005) and returns the canonical universal solution.  The
+two facts the paper uses repeatedly hold for the tgd-only chase: every source
+instance has a (canonical universal) solution, and the chase is monotone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.chase.result import ChaseResult
+from repro.dependencies.egds import EGD
+from repro.dependencies.mapping import SchemaMapping
+from repro.dependencies.tgds import TGD, SkolemTerm
+from repro.relational.instance import Fact, Instance
+from repro.relational.queries import Atom, match_atoms
+from repro.relational.terms import (
+    Const,
+    Variable,
+    fresh_null,
+    is_constant_value,
+    is_null_value,
+)
+
+
+def _head_satisfiable(
+    instance: Instance, tgd: TGD, binding: dict[Variable, Any]
+) -> bool:
+    """True if the binding extends to the existentials making the head true.
+
+    This is the activeness test of the *standard* (non-oblivious) chase: an
+    already-satisfied head means the trigger does not fire.
+    """
+    frontier_binding = {
+        var: val for var, val in binding.items() if var in tgd.frontier
+    }
+    for extension in match_atoms(instance, list(tgd.head), frontier_binding):
+        return True
+    return False
+
+
+def _ground_head_atom(
+    atom: Atom, binding: dict[Variable, Any]
+) -> Fact:
+    args = []
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            args.append(binding[term])
+        elif isinstance(term, Const):
+            args.append(term.value)
+        elif isinstance(term, SkolemTerm):
+            args.append(term.ground(binding))
+        else:
+            raise TypeError(f"unexpected head term {term!r}")
+    return Fact(atom.relation, args)
+
+
+def _apply_tgds_once(
+    instance: Instance, tgds: Sequence[TGD], counters: dict[str, int]
+) -> bool:
+    """Fire every active trigger of every tgd once; True if anything changed."""
+    pending: list[tuple[TGD, dict[Variable, Any]]] = []
+    for tgd in tgds:
+        for binding in match_atoms(instance, list(tgd.body)):
+            if tgd.existential and _head_satisfiable(instance, tgd, binding):
+                continue
+            if not tgd.existential:
+                if all(
+                    _ground_head_atom(atom, binding) in instance
+                    for atom in tgd.head
+                ):
+                    continue
+            pending.append((tgd, binding))
+
+    changed = False
+    for tgd, binding in pending:
+        # Re-check activeness: an earlier firing this round may have
+        # satisfied the head already.
+        if tgd.existential:
+            if _head_satisfiable(instance, tgd, binding):
+                continue
+            extended = dict(binding)
+            for var in tgd.existential:
+                extended[var] = fresh_null()
+                counters["nulls"] += 1
+        else:
+            extended = binding
+        for atom in tgd.head:
+            if instance.add(_ground_head_atom(atom, extended)):
+                changed = True
+                counters["steps"] += 1
+    return changed
+
+
+class _UnionFind:
+    """Union-find over values, preferring constants as representatives."""
+
+    def __init__(self) -> None:
+        self.parent: dict[Any, Any] = {}
+
+    def find(self, value: Any) -> Any:
+        root = value
+        while root in self.parent:
+            root = self.parent[root]
+        while value != root:
+            parent = self.parent[value]
+            self.parent[value] = root
+            value = parent
+        return root
+
+    def union(self, left: Any, right: Any) -> str:
+        """Merge the classes of two values.
+
+        Returns ``"ok"`` when merged (or already equal), ``"clash"`` when
+        both representatives are distinct constants.
+        """
+        left_root = self.find(left)
+        right_root = self.find(right)
+        if left_root == right_root:
+            return "ok"
+        left_const = is_constant_value(left_root)
+        right_const = is_constant_value(right_root)
+        if left_const and right_const:
+            return "clash"
+        if left_const:
+            self.parent[right_root] = left_root
+        else:
+            self.parent[left_root] = right_root
+        return "ok"
+
+
+def _apply_egds_once(
+    instance: Instance, egds: Sequence[EGD], counters: dict[str, int]
+) -> tuple[bool, str | None]:
+    """Apply all egd steps; returns (changed, failure_message)."""
+    union_find = _UnionFind()
+    any_merge = False
+    for egd in egds:
+        for binding in match_atoms(instance, list(egd.body)):
+            lhs_value = binding[egd.lhs]
+            rhs_value = (
+                binding[egd.rhs] if isinstance(egd.rhs, Variable) else egd.rhs.value
+            )
+            if lhs_value == rhs_value:
+                continue
+            if egd.constants_only and (
+                is_null_value(lhs_value) or is_null_value(rhs_value)
+            ):
+                continue
+            outcome = union_find.union(lhs_value, rhs_value)
+            if outcome == "clash":
+                return False, (
+                    f"{egd.label}: cannot equate distinct constants "
+                    f"{union_find.find(lhs_value)!r} and {union_find.find(rhs_value)!r}"
+                )
+            any_merge = True
+            counters["merges"] += 1
+
+    if not any_merge:
+        return False, None
+
+    # Rewrite the instance under the computed substitution.
+    rewritten = Instance()
+    for fact in instance:
+        new_args = tuple(union_find.find(arg) for arg in fact.args)
+        rewritten.add(Fact(fact.relation, new_args))
+    # Replace contents in place so callers keep their reference.
+    instance._extensions = rewritten._extensions  # noqa: SLF001 (deliberate swap)
+    instance._indexes = {}
+    instance._size = len(rewritten)
+    return True, None
+
+
+def standard_chase(
+    source: Instance,
+    mapping: SchemaMapping,
+    max_rounds: int = 10_000,
+) -> ChaseResult:
+    """Chase ``source`` with ``mapping``; return the result.
+
+    The returned :class:`ChaseResult` carries the full chased instance and
+    its target restriction (the canonical universal solution) on success.
+    Raises ``RuntimeError`` if ``max_rounds`` is exceeded (which cannot
+    happen for weakly acyclic mappings on finite instances).
+    """
+    counters = {"steps": 0, "nulls": 0, "merges": 0}
+    work = source.copy()
+
+    # Source-to-target tgds can be saturated together with target tgds; the
+    # loop below handles both (s-t bodies only match source facts anyway).
+    all_tgds = list(mapping.all_tgds())
+    egds = list(mapping.target_egds)
+
+    for _ in range(max_rounds):
+        tgd_change = _apply_tgds_once(work, all_tgds, counters)
+        egd_change, failure = _apply_egds_once(work, egds, counters)
+        if failure is not None:
+            return ChaseResult(
+                failed=True,
+                failure=failure,
+                steps=counters["steps"],
+                nulls_created=counters["nulls"],
+                merges=counters["merges"],
+            )
+        if not tgd_change and not egd_change:
+            target = work.restrict(mapping.target.names())
+            return ChaseResult(
+                failed=False,
+                solution=work,
+                target=target,
+                steps=counters["steps"],
+                nulls_created=counters["nulls"],
+                merges=counters["merges"],
+            )
+    raise RuntimeError(f"chase did not terminate within {max_rounds} rounds")
+
+
+def canonical_universal_solution(
+    source: Instance, mapping: SchemaMapping
+) -> Instance:
+    """``chase(I, M)``: the canonical universal solution, or raise on failure."""
+    result = standard_chase(source, mapping)
+    if result.failed:
+        raise ValueError(f"no solution exists: {result.failure}")
+    assert result.target is not None
+    return result.target
+
+
+def has_solution(source: Instance, mapping: SchemaMapping) -> bool:
+    """True if ``source`` has a solution w.r.t. ``mapping``.
+
+    For weakly acyclic mappings, a solution exists iff the chase succeeds.
+    """
+    return not standard_chase(source, mapping).failed

@@ -1,0 +1,20 @@
+"""Dependencies and schema mappings.
+
+Tuple-generating dependencies (tgds / GLAV constraints), equality-generating
+dependencies (egds), schema mappings ``M = (S, T, Σst, Σt)``, and the weak
+acyclicity test of Fagin et al. that guarantees chase termination.
+"""
+
+from repro.dependencies.tgds import TGD, SkolemTerm
+from repro.dependencies.egds import EGD
+from repro.dependencies.mapping import SchemaMapping
+from repro.dependencies.acyclicity import is_weakly_acyclic, position_graph
+
+__all__ = [
+    "TGD",
+    "EGD",
+    "SkolemTerm",
+    "SchemaMapping",
+    "is_weakly_acyclic",
+    "position_graph",
+]

@@ -1,0 +1,120 @@
+"""Weak acyclicity (Fagin, Kolaitis, Miller, Popa 2005).
+
+A set of tgds is weakly acyclic when its *position graph* has no cycle
+through a special edge.  The nodes of the position graph are the positions
+``(R, i)`` of the relations mentioned by the tgds.  For each tgd
+``φ(x) → ∃y ψ(x, y)``, each universally quantified variable ``x`` occurring
+in ``φ`` at position ``(R, i)`` and in ``ψ`` at position ``(S, j)``
+contributes a regular edge ``(R, i) → (S, j)``; and for each existential
+variable ``y`` occurring in ``ψ`` at position ``(S, j)``, a *special* edge
+``(R, i) → (S, j)``.
+
+Weak acyclicity guarantees termination of the chase in polynomially many
+steps, and bounds the nesting depth of skolem values in the skolemized
+chase — the property the Theorem 1 reduction relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.dependencies.tgds import TGD, SkolemTerm
+from repro.relational.terms import Variable
+
+REGULAR = "regular"
+SPECIAL = "special"
+
+
+def position_graph(tgds: Iterable[TGD]) -> nx.MultiDiGraph:
+    """Build the position graph of a set of tgds.
+
+    Edge attribute ``kind`` is either ``"regular"`` or ``"special"``.
+    Skolem terms in heads are treated like the existential variables they
+    stand for (their argument positions emit special edges).
+    """
+    graph = nx.MultiDiGraph()
+    for tgd in tgds:
+        body_positions: dict[Variable, list[tuple[str, int]]] = {}
+        for atom in tgd.body:
+            for pos, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    body_positions.setdefault(term, []).append((atom.relation, pos))
+                    graph.add_node((atom.relation, pos))
+
+        for atom in tgd.head:
+            for pos, term in enumerate(atom.terms):
+                graph.add_node((atom.relation, pos))
+                if isinstance(term, Variable):
+                    if term in tgd.existential:
+                        # Special edge from every body position of every
+                        # frontier variable of the tgd.
+                        for frontier_var in tgd.frontier:
+                            for src in body_positions.get(frontier_var, ()):
+                                graph.add_edge(
+                                    src, (atom.relation, pos), kind=SPECIAL
+                                )
+                    else:
+                        for src in body_positions.get(term, ()):
+                            graph.add_edge(src, (atom.relation, pos), kind=REGULAR)
+                elif isinstance(term, SkolemTerm):
+                    for arg in term.args:
+                        if isinstance(arg, Variable):
+                            for src in body_positions.get(arg, ()):
+                                graph.add_edge(
+                                    src, (atom.relation, pos), kind=SPECIAL
+                                )
+    return graph
+
+
+def is_weakly_acyclic(tgds: Iterable[TGD]) -> bool:
+    """True if the set of tgds is weakly acyclic.
+
+    A special edge inside a strongly connected component of the position
+    graph witnesses a cycle through a special edge.
+    """
+    graph = position_graph(tgds)
+    component_of: dict = {}
+    for index, component in enumerate(nx.strongly_connected_components(graph)):
+        for node in component:
+            component_of[node] = index
+    for src, dst, data in graph.edges(data=True):
+        if data.get("kind") == SPECIAL and component_of[src] == component_of[dst]:
+            return False
+    return True
+
+
+def existential_rank(tgds: Iterable[TGD]) -> dict[tuple[str, int], int]:
+    """The *rank* of each position: the maximum number of special edges on
+    any path of the position graph reaching it.
+
+    Finite for weakly acyclic sets; it bounds how deeply nulls created at a
+    position can depend on other nulls (and hence skolem nesting depth).
+    Raises ``ValueError`` when the set is not weakly acyclic.
+    """
+    tgds = list(tgds)
+    if not is_weakly_acyclic(tgds):
+        raise ValueError("existential rank is undefined: not weakly acyclic")
+    graph = position_graph(tgds)
+    condensed = nx.condensation(nx.DiGraph(graph))  # DAG of SCCs
+
+    # Longest path counting special edges, over the SCC DAG.  Because the
+    # set is weakly acyclic, all special edges go between distinct SCCs.
+    special_between: dict[tuple[int, int], int] = {}
+    member_of = condensed.graph["mapping"]
+    for src, dst, data in graph.edges(data=True):
+        key = (member_of[src], member_of[dst])
+        if key[0] == key[1]:
+            continue
+        weight = 1 if data.get("kind") == SPECIAL else 0
+        special_between[key] = max(special_between.get(key, 0), weight)
+
+    order = list(nx.topological_sort(condensed))
+    scc_rank = {node: 0 for node in order}
+    for node in order:
+        for successor in condensed.successors(node):
+            weight = special_between.get((node, successor), 0)
+            scc_rank[successor] = max(scc_rank[successor], scc_rank[node] + weight)
+
+    return {pos: scc_rank[member_of[pos]] for pos in graph.nodes}

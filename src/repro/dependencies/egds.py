@@ -1,0 +1,85 @@
+"""Equality-generating dependencies (egds).
+
+An egd has the form ``∀x (φ(x) → x_i = x_j)`` with ``φ`` a conjunction of
+atoms.  During the chase, a violated egd either unifies a labelled null with
+another value, or *fails* when it would equate two distinct constants.
+
+Egds produced by the GLAV-to-GAV reduction may carry a ``constants_only``
+flag: such an egd only counts as violated when **both** sides are bound to
+constants.  This implements the fact that equating a skolem value (which
+stands for a null) with anything is harmless.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.relational.queries import Atom
+from repro.relational.terms import Const, Variable
+
+_egd_counter = itertools.count(1)
+
+
+class EGD:
+    """An equality-generating dependency ``body → lhs = rhs``.
+
+    ``symmetric`` marks egds whose body is invariant under swapping ``lhs``
+    and ``rhs`` (the reduction's hard egd over ``EQ``): violation detection
+    then canonicalizes the two orientations of a grounding into one.
+    """
+
+    __slots__ = ("body", "lhs", "rhs", "label", "constants_only", "symmetric")
+
+    def __init__(
+        self,
+        body: Sequence[Atom],
+        lhs: Variable,
+        rhs: Variable | Const,
+        label: str | None = None,
+        constants_only: bool = False,
+        symmetric: bool = False,
+    ):
+        if not body:
+            raise ValueError("an egd needs a non-empty body")
+        if not isinstance(lhs, Variable):
+            raise ValueError("egd left-hand side must be a variable")
+        self.body = tuple(body)
+        self.lhs = lhs
+        self.rhs = rhs
+        self.label = label if label is not None else f"egd{next(_egd_counter)}"
+        self.constants_only = constants_only
+        self.symmetric = symmetric
+
+        body_vars: set[Variable] = set()
+        for atom in self.body:
+            body_vars |= atom.variables()
+        if lhs not in body_vars:
+            raise ValueError(f"{self.label}: {lhs!r} does not occur in the body")
+        if isinstance(rhs, Variable) and rhs not in body_vars:
+            raise ValueError(f"{self.label}: {rhs!r} does not occur in the body")
+
+    def body_relations(self) -> set[str]:
+        return {atom.relation for atom in self.body}
+
+    def variables(self) -> set[Variable]:
+        out: set[Variable] = set()
+        for atom in self.body:
+            out |= atom.variables()
+        return out
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(a) for a in self.body)
+        return f"[{self.label}] {body} -> {self.lhs!r} = {self.rhs!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, EGD)
+            and self.body == other.body
+            and self.lhs == other.lhs
+            and self.rhs == other.rhs
+            and self.constants_only == other.constants_only
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.body, self.lhs, self.rhs, self.constants_only))

@@ -1,0 +1,151 @@
+"""Schema mappings ``M = (S, T, Σst, Σt)``.
+
+A schema mapping bundles a source schema, a target schema, a set of
+source-to-target tgds, and a set of target tgds and egds.  The classes of
+mappings from the paper are recognized:
+
+- ``glav+(glav, egd)``   — the general case (XR-Certain is undecidable);
+- ``glav+(wa-glav, egd)``— weakly acyclic target tgds (coNP-complete);
+- ``gav+(gav, egd)``     — the fragment the DLP encodings operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dependencies.acyclicity import is_weakly_acyclic
+from repro.dependencies.egds import EGD
+from repro.dependencies.tgds import TGD
+from repro.relational.schema import RelationSymbol, Schema
+
+
+class SchemaMapping:
+    """A schema mapping ``(S, T, Σst, Σt)`` with Σt split into tgds and egds."""
+
+    __slots__ = ("source", "target", "st_tgds", "target_tgds", "target_egds")
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        st_tgds: Sequence[TGD],
+        target_tgds: Sequence[TGD] = (),
+        target_egds: Sequence[EGD] = (),
+    ):
+        if not source.is_disjoint_from(target):
+            shared = source.names() & target.names()
+            raise ValueError(f"source and target schemas share relations: {shared}")
+        self.source = source
+        self.target = target
+        self.st_tgds = tuple(st_tgds)
+        self.target_tgds = tuple(target_tgds)
+        self.target_egds = tuple(target_egds)
+        self._validate()
+
+    def _validate(self) -> None:
+        src_names = self.source.names()
+        tgt_names = self.target.names()
+        for tgd in self.st_tgds:
+            bad_body = tgd.body_relations() - src_names
+            bad_head = tgd.head_relations() - tgt_names
+            if bad_body:
+                raise ValueError(
+                    f"{tgd.label}: body relations {bad_body} not in source schema"
+                )
+            if bad_head:
+                raise ValueError(
+                    f"{tgd.label}: head relations {bad_head} not in target schema"
+                )
+        for tgd in self.target_tgds:
+            bad = (tgd.body_relations() | tgd.head_relations()) - tgt_names
+            if bad:
+                raise ValueError(
+                    f"{tgd.label}: relations {bad} not in target schema"
+                )
+        for egd in self.target_egds:
+            bad = egd.body_relations() - tgt_names
+            if bad:
+                raise ValueError(
+                    f"{egd.label}: relations {bad} not in target schema"
+                )
+        self._check_arities(self.st_tgds, self.target_tgds, self.target_egds)
+
+    def _check_arities(self, *groups: Iterable) -> None:
+        combined = self.source.union(self.target)
+        for group in groups:
+            for dep in group:
+                atoms = list(dep.body)
+                atoms.extend(getattr(dep, "head", ()))
+                for atom in atoms:
+                    declared = combined.get(atom.relation)
+                    if declared is not None and declared.arity != atom.arity:
+                        raise ValueError(
+                            f"{dep.label}: atom {atom!r} has arity {atom.arity}, "
+                            f"schema declares {declared.arity}"
+                        )
+
+    # ------------------------------------------------------- classification
+
+    def is_gav_gav_egd(self) -> bool:
+        """True if Σst and target tgds are all GAV (the ``gav+(gav, egd)`` class).
+
+        Rules with skolem terms in heads count as GAV (Theorem 1 output).
+        """
+        return all(t.is_gav() for t in self.st_tgds) and all(
+            t.is_gav() for t in self.target_tgds
+        )
+
+    def is_weakly_acyclic(self) -> bool:
+        """True if the target tgds form a weakly acyclic set."""
+        return is_weakly_acyclic(self.target_tgds)
+
+    def has_target_constraints(self) -> bool:
+        return bool(self.target_tgds or self.target_egds)
+
+    # ------------------------------------------------------------ utilities
+
+    def all_tgds(self) -> tuple[TGD, ...]:
+        """Σst ∪ (tgds of Σt), in that order."""
+        return self.st_tgds + self.target_tgds
+
+    def drop_egds(self) -> "SchemaMapping":
+        """The mapping ``Mtgd`` of Definition 2: all egds removed."""
+        return SchemaMapping(
+            self.source, self.target, self.st_tgds, self.target_tgds, ()
+        )
+
+    def with_extra_target_tgds(self, extra: Sequence[TGD]) -> "SchemaMapping":
+        """A copy of this mapping with additional target tgds appended.
+
+        Used to turn a UCQ into new target relations (Section 6.4): each
+        disjunct becomes a GAV tgd deriving the query relation.  The target
+        schema is extended with any new head relations.
+        """
+        target = Schema(self.target)
+        for tgd in extra:
+            for atom in tgd.head:
+                if atom.relation not in target:
+                    target.add(RelationSymbol(atom.relation, atom.arity))
+        return SchemaMapping(
+            self.source,
+            target,
+            self.st_tgds,
+            tuple(self.target_tgds) + tuple(extra),
+            self.target_egds,
+        )
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "source_relations": len(self.source),
+            "target_relations": len(self.target),
+            "st_tgds": len(self.st_tgds),
+            "target_tgds": len(self.target_tgds),
+            "target_egds": len(self.target_egds),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"SchemaMapping(|S|={s['source_relations']}, |T|={s['target_relations']}, "
+            f"|Σst|={s['st_tgds']}, |Σt|={s['target_tgds']}+{s['target_egds']} egds)"
+        )

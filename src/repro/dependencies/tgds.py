@@ -1,0 +1,173 @@
+"""Tuple-generating dependencies (tgds), a.k.a. GLAV constraints.
+
+A tgd has the form ``∀x (φ(x) → ∃y ψ(x, y))`` where ``φ`` and ``ψ`` are
+conjunctions of atoms.  Variables that appear in the head but not in the
+body are the existential variables ``y``; the others are the frontier.
+
+Special cases (Section 2 of the paper):
+
+- **GAV**: the head is a single atom with no existential variables;
+- **LAV**: the body is a single atom;
+- **full**: no existential variables (any head length).
+
+Heads may additionally contain :class:`SkolemTerm` terms — templates
+``f(x1, ..., xk)`` over frontier variables — which the GLAV-to-GAV reduction
+uses in place of existential variables.  A tgd whose head atoms contain only
+frontier variables, constants, and skolem terms is *skolemized* and behaves
+like a GAV rule for the chase.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Sequence
+
+from repro.relational.queries import Atom
+from repro.relational.terms import Const, SkolemValue, Variable
+
+
+class SkolemTerm:
+    """A skolem term template ``f(v1, ..., vk)`` appearing in a tgd head.
+
+    Grounding it under a binding produces a :class:`SkolemValue`.
+    """
+
+    __slots__ = ("function", "args")
+
+    def __init__(self, function: str, args: Sequence[Variable | Const]):
+        self.function = function
+        self.args = tuple(args)
+
+    def __repr__(self) -> str:
+        inner = ",".join(repr(a) for a in self.args)
+        return f"{self.function}({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SkolemTerm)
+            and self.function == other.function
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return hash(("skolemterm", self.function, self.args))
+
+    def ground(self, binding: dict[Variable, Any]) -> SkolemValue:
+        values = []
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                values.append(binding[arg])
+            else:
+                values.append(arg.value)
+        return SkolemValue(self.function, tuple(values))
+
+
+_tgd_counter = itertools.count(1)
+
+
+class TGD:
+    """A tuple-generating dependency ``body → head``.
+
+    ``body`` and ``head`` are sequences of atoms; existential variables are
+    inferred (head variables not occurring in the body).  An optional label
+    names the dependency in diagnostics and skolem function names.
+    """
+
+    __slots__ = ("body", "head", "label", "frontier", "existential")
+
+    def __init__(
+        self,
+        body: Sequence[Atom],
+        head: Sequence[Atom],
+        label: str | None = None,
+    ):
+        if not body:
+            raise ValueError("a tgd needs a non-empty body")
+        if not head:
+            raise ValueError("a tgd needs a non-empty head")
+        self.body = tuple(body)
+        self.head = tuple(head)
+        self.label = label if label is not None else f"tgd{next(_tgd_counter)}"
+
+        body_vars: set[Variable] = set()
+        for atom in self.body:
+            body_vars |= atom.variables()
+        head_vars: set[Variable] = set()
+        for atom in self.head:
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    head_vars.add(term)
+                elif isinstance(term, SkolemTerm):
+                    for arg in term.args:
+                        if isinstance(arg, Variable) and arg not in body_vars:
+                            raise ValueError(
+                                f"{self.label}: skolem argument {arg!r} "
+                                "is not a body variable"
+                            )
+        self.frontier = frozenset(body_vars & head_vars)
+        self.existential = frozenset(head_vars - body_vars)
+
+    # ------------------------------------------------------- classification
+
+    def is_full(self) -> bool:
+        """True if the tgd has no existential variables."""
+        return not self.existential
+
+    def is_skolemized(self) -> bool:
+        """True if head terms are frontier variables, constants, or skolems."""
+        return not self.existential
+
+    def is_gav(self) -> bool:
+        """True if the head is a single atom and there are no existentials.
+
+        Skolem terms in the head are allowed: the reduction of Theorem 1
+        produces GAV rules whose heads mention skolem terms standing for
+        the nulls the original mapping would have invented.
+        """
+        return len(self.head) == 1 and not self.existential
+
+    def is_lav(self) -> bool:
+        """True if the body is a single atom."""
+        return len(self.body) == 1
+
+    def has_skolem_terms(self) -> bool:
+        return any(
+            isinstance(term, SkolemTerm) for atom in self.head for term in atom.terms
+        )
+
+    # ------------------------------------------------------------ utilities
+
+    def body_relations(self) -> set[str]:
+        return {atom.relation for atom in self.body}
+
+    def head_relations(self) -> set[str]:
+        return {atom.relation for atom in self.head}
+
+    def variables(self) -> set[Variable]:
+        out: set[Variable] = set()
+        for atom in self.body + self.head:
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    out.add(term)
+                elif isinstance(term, SkolemTerm):
+                    out.update(a for a in term.args if isinstance(a, Variable))
+        return out
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(a) for a in self.body)
+        head = ", ".join(repr(a) for a in self.head)
+        exist = ""
+        if self.existential:
+            names = ",".join(sorted(v.name for v in self.existential))
+            exist = f"∃{names} "
+        return f"[{self.label}] {body} -> {exist}{head}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TGD)
+            and self.body == other.body
+            and self.head == other.head
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.body, self.head))

@@ -1,0 +1,43 @@
+"""The UCSC Genome Browser benchmark scenario (Section 5).
+
+A data-exchange setting mimicking the genome browser's data import process:
+
+- **sources** (Table 1): the given part of UCSC's gene model
+  (``ComputedAlignments``, ``ComputedCrossref``), five RefSeq relations,
+  ``EntrezGene``, and ``UniProt``;
+- **targets**: the genome-browser tables ``knownGene``, ``kgXref``,
+  ``refLink``, ``knownToLocusLink``, and ``knownIsoforms``;
+- **constraints** (Figure 2): key egds on ``knownGene`` and ``kgXref``
+  expose (A) competing exon counts between UCSC and RefSeq and (B) competing
+  gene symbols between RefSeq and EntrezGene; (C) transcripts sharing an
+  Entrez gene id or a gene symbol are forced into the same isoform cluster —
+  egds equating existentially-invented cluster ids, the differentiating
+  feature of weakly acyclic mappings.
+
+The original experiments use real UCSC/NCBI dumps; offline, the
+:mod:`repro.genomics.generator` synthesizes instances with the same schema,
+conflict structure, and controllable size / suspect-rate — the two axes the
+paper's evaluation varies (Table 2).
+"""
+
+from repro.genomics.schema import genome_mapping, source_schema, target_schema
+from repro.genomics.generator import GenomeDataGenerator, GeneratorConfig
+from repro.genomics.instances import (
+    INSTANCE_PROFILES,
+    InstanceProfile,
+    build_instance,
+)
+from repro.genomics.queries import QUERY_SUITE, query_by_name
+
+__all__ = [
+    "genome_mapping",
+    "source_schema",
+    "target_schema",
+    "GenomeDataGenerator",
+    "GeneratorConfig",
+    "INSTANCE_PROFILES",
+    "InstanceProfile",
+    "build_instance",
+    "QUERY_SUITE",
+    "query_by_name",
+]

@@ -1,0 +1,170 @@
+"""Synthetic data generator for the Genome Browser scenario.
+
+The paper's evaluation uses real UCSC/RefSeq/EntrezGene/UniProt dumps; an
+offline environment cannot, so this generator synthesizes instances with the
+same relational shape and — crucially — the same *conflict structure*, under
+exact control of the two axes the evaluation varies (§5.1):
+
+- **size**: the number of transcripts (each transcript contributes one
+  ``ComputedAlignments`` row, one ``ComputedCrossref`` row, five RefSeq rows,
+  and one UniProt row; genes contribute shared ``EntrezGene`` rows);
+- **suspect rate**: the fraction of transcripts involved in an egd
+  violation.  Conflicts are injected in two flavours matching Figure 2:
+  (A) the RefSeq exon count disagrees with the UCSC alignment's, and
+  (B) the UniProt gene symbol disagrees with the RefSeq/Entrez symbol.
+
+Transcripts are grouped into genes (``isoforms_per_gene`` transcripts share
+an Entrez id and a gene symbol), which drives the ``knownIsoforms``
+clustering channel (C).  Conflicting values are unique per transcript so
+that violations stay local — matching the real data, where spurious symbol
+variants are transcript-specific.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.relational.instance import Fact, Instance
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the synthetic Genome Browser source generator."""
+
+    transcripts: int = 100
+    suspect_fraction: float = 0.03
+    isoforms_per_gene: int = 3
+    exon_conflict_share: float = 0.5  # remaining conflicts are symbol conflicts
+    seed: int = 0
+
+
+@dataclass
+class GeneratedInstance:
+    """A generated source instance plus ground-truth bookkeeping."""
+
+    instance: Instance
+    config: GeneratorConfig
+    transcripts: list[str] = field(default_factory=list)
+    conflicted_transcripts: list[str] = field(default_factory=list)
+    exon_conflicts: list[str] = field(default_factory=list)
+    symbol_conflicts: list[str] = field(default_factory=list)
+
+    def tuples_per_relation(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for fact in self.instance:
+            counts[fact.relation] = counts.get(fact.relation, 0) + 1
+        return counts
+
+
+class GenomeDataGenerator:
+    """Deterministic (seeded) generator of benchmark source instances."""
+
+    def __init__(self, config: GeneratorConfig):
+        self.config = config
+
+    def generate(self) -> GeneratedInstance:
+        config = self.config
+        rng = random.Random(config.seed)
+        instance = Instance()
+        result = GeneratedInstance(instance=instance, config=config)
+
+        count = config.transcripts
+        conflicted = max(0, min(count, round(count * config.suspect_fraction)))
+        conflict_ids = set(rng.sample(range(count), conflicted))
+        exon_cut = round(conflicted * config.exon_conflict_share)
+        conflict_list = sorted(conflict_ids)
+        exon_set = set(conflict_list[:exon_cut])
+
+        genes_seen: set[int] = set()
+        for index in range(count):
+            gene = index // config.isoforms_per_gene
+            kg_id = f"uc{index:06d}"
+            refseq = f"NM_{index:06d}"
+            protein = f"P{index:05d}"
+            entrez = f"GeneID:{gene}"
+            symbol = f"SYM{gene}"
+            chrom = f"chr{gene % 22 + 1}"
+            strand = "+" if index % 2 == 0 else "-"
+            tx_start = 1000 * index
+            tx_end = tx_start + rng.randint(500, 5000)
+            exon_count = rng.randint(1, 30)
+
+            result.transcripts.append(kg_id)
+            is_exon_conflict = index in exon_set
+            is_symbol_conflict = index in conflict_ids and not is_exon_conflict
+            if is_exon_conflict:
+                result.exon_conflicts.append(kg_id)
+                result.conflicted_transcripts.append(kg_id)
+            if is_symbol_conflict:
+                result.symbol_conflicts.append(kg_id)
+                result.conflicted_transcripts.append(kg_id)
+
+            refseq_exon_count = (
+                exon_count + rng.randint(1, 3) if is_exon_conflict else exon_count
+            )
+            uniprot_symbol = f"ALT{index}" if is_symbol_conflict else symbol
+
+            instance.add(
+                Fact(
+                    "ComputedAlignments",
+                    (
+                        kg_id, chrom, strand, tx_start, tx_end,
+                        tx_start + 10, tx_end - 10, exon_count,
+                        f"exons{index}", f"align{index}",
+                    ),
+                )
+            )
+            instance.add(Fact("ComputedCrossref", (kg_id, refseq, protein)))
+            instance.add(
+                Fact(
+                    "RefSeqTranscript",
+                    (
+                        refseq, 1, 7_000_000 + index, tx_end - tx_start,
+                        "mRNA", refseq_exon_count, "2015-06-01", f"rec{index}",
+                    ),
+                )
+            )
+            instance.add(
+                Fact(
+                    "RefSeqSource",
+                    (refseq, "Homo sapiens", 9606, chrom, f"{chrom}q{index % 40}", "cDNA"),
+                )
+            )
+            instance.add(
+                Fact(
+                    "RefSeqReference",
+                    (
+                        refseq, 20_000_000 + index, f"Author{index % 97}",
+                        f"Title {index}", "Genome Res", 2000 + index % 16,
+                        9_000_000 + index, "",
+                    ),
+                )
+            )
+            instance.add(
+                Fact(
+                    "RefSeqGene",
+                    (
+                        refseq, symbol, entrez, f"syn{gene}", f"dbx{gene}",
+                        f"{symbol} description", f"loc{gene}", gene,
+                    ),
+                )
+            )
+            instance.add(
+                Fact(
+                    "RefSeqProtein",
+                    (
+                        refseq, protein, f"{symbol} protein", 8_000_000 + index,
+                        refseq, "", f"EC:{index % 6}.{index % 4}", 3 * exon_count,
+                    ),
+                )
+            )
+            instance.add(Fact("UniProt", (protein, f"{symbol}_HUMAN", uniprot_symbol)))
+            if gene not in genes_seen:
+                genes_seen.add(gene)
+                # The description matches RefSeq's: the two kgXref channels
+                # must only disagree where a conflict is injected.
+                instance.add(
+                    Fact("EntrezGene", (entrez, symbol, f"{symbol} description"))
+                )
+        return result

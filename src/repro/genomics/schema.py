@@ -1,0 +1,255 @@
+"""Schemas and the schema mapping of the Genome Browser scenario (§5, Fig. 2).
+
+Source relations follow Table 1's shape (UCSC: 2 relations / 13 attributes;
+RefSeq: 5 relations / 38 attributes; EntrezGene and UniProt: 1 relation / 3
+attributes each).  Target relations are the Genome Browser tables touched by
+the paper's query suite, with their documented arities (``knownGene``/12,
+``kgXref``/10, ``refLink``/8, ``knownToLocusLink``/2, ``knownIsoforms``/2).
+
+The mapping wires up the three critical conflict channels of Figure 2:
+
+(A) ``knownGene.exonCount`` receives the UCSC alignment's value *and* the
+    RefSeq transcript's value; the key egd on ``knownGene.name`` exposes
+    disagreements.
+(B) ``kgXref.geneSymbol`` receives the RefSeq gene symbol, the EntrezGene
+    symbol, and the UniProt symbol; the key egd on ``kgXref.kgID`` exposes
+    disagreements.
+(C) ``knownIsoforms`` clusters transcripts by existentially-invented cluster
+    ids which egds force equal when transcripts share an Entrez gene id or a
+    gene symbol — equalities between labelled nulls, the weakly acyclic
+    showcase.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.dependencies.mapping import SchemaMapping
+from repro.parser import parse_dependency
+from repro.relational.schema import RelationSymbol, Schema
+
+
+def source_schema() -> Schema:
+    """The source schema (Table 1 shapes)."""
+    return Schema(
+        [
+            RelationSymbol(
+                "ComputedAlignments",
+                10,
+                [
+                    "kgID", "chrom", "strand", "txStart", "txEnd",
+                    "cdsStart", "cdsEnd", "exonCount", "exons", "alignID",
+                ],
+            ),
+            RelationSymbol(
+                "ComputedCrossref", 3, ["kgID", "refseqAcc", "protAcc"]
+            ),
+            RelationSymbol(
+                "RefSeqTranscript",
+                8,
+                [
+                    "acc", "version", "gi", "length",
+                    "moltype", "exonCount", "lastUpdate", "comment",
+                ],
+            ),
+            RelationSymbol(
+                "RefSeqSource",
+                6,
+                ["acc", "organism", "taxonId", "chromosome", "mapLoc", "tech"],
+            ),
+            RelationSymbol(
+                "RefSeqReference",
+                8,
+                [
+                    "acc", "pmid", "authors", "title",
+                    "journal", "year", "medline", "remark",
+                ],
+            ),
+            RelationSymbol(
+                "RefSeqGene",
+                8,
+                [
+                    "acc", "geneSymbol", "entrezId", "synonyms",
+                    "dbXref", "description", "locusTag", "geneId2",
+                ],
+            ),
+            RelationSymbol(
+                "RefSeqProtein",
+                8,
+                [
+                    "acc", "protAcc", "product", "proteinGi",
+                    "codedBy", "note", "ec", "length2",
+                ],
+            ),
+            RelationSymbol("EntrezGene", 3, ["entrezId", "symbol", "description"]),
+            RelationSymbol("UniProt", 3, ["spID", "displayID", "geneSymbol"]),
+        ]
+    )
+
+
+def target_schema() -> Schema:
+    """The target schema: the Genome Browser tables used by the query suite."""
+    return Schema(
+        [
+            RelationSymbol(
+                "knownGene",
+                12,
+                [
+                    "name", "chrom", "strand", "txStart", "txEnd", "cdsStart",
+                    "cdsEnd", "exonCount", "exonStarts", "exonEnds",
+                    "proteinID", "alignID",
+                ],
+            ),
+            RelationSymbol(
+                "kgXref",
+                10,
+                [
+                    "kgID", "mRNA", "spID", "spDisplayID", "geneSymbol",
+                    "refseq", "protAcc", "description", "rfamAcc", "tRnaName",
+                ],
+            ),
+            RelationSymbol(
+                "refLink",
+                8,
+                [
+                    "name", "product", "mrnaAcc", "protAcc",
+                    "geneName", "prodName", "locusLinkId", "omimId",
+                ],
+            ),
+            RelationSymbol("knownToLocusLink", 2, ["name", "value"]),
+            RelationSymbol("knownIsoforms", 2, ["clusterId", "transcript"]),
+        ]
+    )
+
+
+_ST_TGDS = [
+    # UCSC alignments populate knownGene (proteinID from the crossref; the
+    # exon-coordinate blob fills both exonStarts and exonEnds).
+    (
+        "kg_ucsc",
+        "ComputedAlignments(kg, ch, st, ts, te, cs, ce, ec, ex, align), "
+        "ComputedCrossref(kg, rs, pr) "
+        "-> knownGene(kg, ch, st, ts, te, cs, ce, ec, ex, ex, pr, align).",
+    ),
+    # (A) RefSeq's view of the exon count flows into knownGene too: the row
+    # copies the alignment's attributes but carries RefSeq's exon count, so
+    # the key egd on knownGene.name exposes any disagreement.  (Copying the
+    # other attributes rather than inventing nulls keeps repair envelopes
+    # transcript-local: a fresh null per attribute would get egd-merged with
+    # globally shared constants like the strand, entangling every
+    # transcript's envelope with every other's.)
+    (
+        "kg_refseq",
+        "ComputedAlignments(kg, ch, st, ts, te, cs, ce, ec0, ex, align), "
+        "ComputedCrossref(kg, rs, pr), "
+        "RefSeqTranscript(rs, ver, gi, len, mt, ec, lu, cm) "
+        "-> knownGene(kg, ch, st, ts, te, cs, ce, ec, ex, ex, pr, align).",
+    ),
+    # (B1) kgXref with the RefSeq gene symbol.
+    (
+        "xref_refseq",
+        "ComputedCrossref(kg, rs, pr), "
+        "RefSeqGene(rs, sym, ez, syn, dbx, desc, lt, g2) "
+        "-> kgXref(kg, mrna, pr, spdisp, sym, rs, pr, desc, rfam, trna).",
+    ),
+    # (B2) kgXref with the EntrezGene symbol (via the RefSeq gene link).
+    (
+        "xref_entrez",
+        "ComputedCrossref(kg, rs, pr), "
+        "RefSeqGene(rs, sym0, ez, syn, dbx, desc0, lt, g2), "
+        "EntrezGene(ez, sym, desc) "
+        "-> kgXref(kg, mrna, pr, spdisp, sym, rs, pr, desc, rfam, trna).",
+    ),
+    # (B3) kgXref with the UniProt symbol (via the crossref protein id).
+    (
+        "xref_uniprot",
+        "ComputedCrossref(kg, rs, pr), UniProt(pr, disp, sym) "
+        "-> kgXref(kg, mrna, pr, disp, sym, rs, pr, desc, rfam, trna).",
+    ),
+    # refLink rows from the RefSeq nested records.
+    (
+        "reflink",
+        "RefSeqGene(rs, sym, ez, syn, dbx, desc, lt, g2), "
+        "RefSeqTranscript(rs, ver, gi, len, mt, ec, lu, cm), "
+        "RefSeqProtein(rs, pracc, prod, pgi, cb, note, enz, len2) "
+        "-> refLink(sym, prod, rs, pracc, gname, pname, ez, omim).",
+    ),
+    # Transcript-to-Entrez links.
+    (
+        "ktll",
+        "ComputedCrossref(kg, rs, pr), "
+        "RefSeqGene(rs, sym, ez, syn, dbx, desc, lt, g2) "
+        "-> knownToLocusLink(kg, ez).",
+    ),
+]
+
+_TARGET_TGDS = [
+    # (C) every cross-referenced transcript gets an isoform cluster
+    # (target tgd: exercises wa-glav beyond gav).
+    (
+        "isoforms",
+        "kgXref(kg, mrna, sp, spdisp, sym, rs, pracc, desc, rfam, trna) "
+        "-> knownIsoforms(cluster, kg).",
+    ),
+]
+
+
+def _key_egds(relation: str, arity: int, key_positions: list[int], tag: str):
+    """One egd per non-key attribute: tuples agreeing on the key agree there."""
+    egds = []
+    first = [f"a{i}" for i in range(arity)]
+    second = [
+        f"a{i}" if i in key_positions else f"b{i}" for i in range(arity)
+    ]
+    for position in range(arity):
+        if position in key_positions:
+            continue
+        text = (
+            f"{relation}({', '.join(first)}), {relation}({', '.join(second)}) "
+            f"-> a{position} = b{position}."
+        )
+        egds.append((f"{tag}_{position}", text))
+    return egds
+
+
+_TARGET_EGDS = (
+    _key_egds("knownGene", 12, [0], "key_kg")
+    + _key_egds("kgXref", 10, [0], "key_xref")
+    + _key_egds("refLink", 8, [2], "key_reflink")
+    + _key_egds("knownToLocusLink", 2, [0], "key_ktll")
+    + [
+        # A transcript lives in exactly one cluster.
+        (
+            "iso_key",
+            "knownIsoforms(c1, t), knownIsoforms(c2, t) -> c1 = c2.",
+        ),
+        # (C) shared Entrez gene id -> same cluster.
+        (
+            "cluster_entrez",
+            "knownToLocusLink(t1, e), knownToLocusLink(t2, e), "
+            "knownIsoforms(c1, t1), knownIsoforms(c2, t2) -> c1 = c2.",
+        ),
+        # (C) shared gene symbol -> same cluster.
+        (
+            "cluster_symbol",
+            "kgXref(t1, m1, s1, d1, sym, r1, p1, ds1, f1, n1), "
+            "kgXref(t2, m2, s2, d2, sym, r2, p2, ds2, f2, n2), "
+            "knownIsoforms(c1, t1), knownIsoforms(c2, t2) -> c1 = c2.",
+        ),
+    ]
+)
+
+
+@lru_cache(maxsize=1)
+def genome_mapping() -> SchemaMapping:
+    """The full ``glav+(wa-glav, egd)`` schema mapping of the benchmark."""
+    st_tgds = [parse_dependency(text, label=label) for label, text in _ST_TGDS]
+    target_tgds = [
+        parse_dependency(text, label=label) for label, text in _TARGET_TGDS
+    ]
+    target_egds = [
+        parse_dependency(text, label=label) for label, text in _TARGET_EGDS
+    ]
+    return SchemaMapping(
+        source_schema(), target_schema(), st_tgds, target_tgds, target_egds
+    )

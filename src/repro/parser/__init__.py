@@ -1,0 +1,38 @@
+"""Text syntax for dependencies, queries, and schema mappings.
+
+The paper's implementation accepts the schema mapping and the queries as
+text.  This package provides the same convenience with a small datalog-like
+syntax::
+
+    SOURCE R/2, S/2.
+    TARGET T/2, U/1.
+
+    R(x, y) -> T(x, y).             % source-to-target tgd
+    T(x, y) -> U(x).                % target tgd
+    T(x, y), T(x, z) -> y = z.      % target egd
+
+Queries use the notation of Table 3::
+
+    q(x) :- T(x, y), U(_).
+
+Identifiers are variables, ``_`` is an anonymous (fresh) variable, quoted
+strings and numbers are constants.  Comments start with ``%`` or ``#``.
+"""
+
+from repro.parser.parser import (
+    ParseError,
+    parse_dependency,
+    parse_instance,
+    parse_mapping,
+    parse_program,
+    parse_query,
+)
+
+__all__ = [
+    "ParseError",
+    "parse_dependency",
+    "parse_instance",
+    "parse_mapping",
+    "parse_program",
+    "parse_query",
+]

@@ -1,0 +1,61 @@
+"""Tokenizer for the dependency / query / mapping text syntax."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+TOKEN_SPEC = [
+    ("STRING", r"'(?:[^'\\]|\\.)*'|\"(?:[^\"\\]|\\.)*\""),
+    ("NUMBER", r"-?\d+(?:\.\d+)?"),
+    ("ARROW", r"->"),
+    ("IMPLIEDBY", r":-"),
+    ("NEQ", r"!="),
+    ("EQ", r"="),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("PERIOD", r"\."),
+    ("SLASH", r"/"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("WS", r"[ \t\r]+"),
+    ("NEWLINE", r"\n"),
+    ("COMMENT", r"[%#][^\n]*"),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+class LexError(ValueError):
+    """Raised on an unrecognized character in the input."""
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens, skipping whitespace and comments; track line/column."""
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(text):
+        match = _MASTER.match(text, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise LexError(f"line {line}, column {column}: "
+                           f"unexpected character {text[pos]!r}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+        elif kind not in ("WS", "COMMENT"):
+            yield Token(kind, value, line, pos - line_start + 1)
+        pos = match.end()
+    yield Token("EOF", "", line, pos - line_start + 1)

@@ -1,0 +1,26 @@
+"""The GLAV-to-GAV reduction (Theorem 1) and query rewriting.
+
+Theorem 1 of the paper states that XR-Certain query answering for
+``glav+(wa-glav, egd)`` schema mappings reduces to XR-Certain answering for
+``gav+(gav, egd)`` mappings, rewriting the conjunctive query into a UCQ.
+
+Our implementation realizes the reduction with *skolem values* and an
+explicit equality relation (a.k.a. singularization) instead of the annotated
+relation copies of the original construction — same semantics, different
+(generally smaller) blow-up profile; see DESIGN.md §6:
+
+- every existential variable becomes a skolem term over the tgd's frontier;
+- every egd becomes a GAV rule deriving an ``EQ`` fact;
+- ``EQ`` is closed under reflexivity (over the target active domain),
+  symmetry, and transitivity;
+- joins and constants in target rule bodies are *singularized*: repeated
+  occurrences become distinct variables linked through ``EQ``;
+- the only remaining egd is the *hard* one: ``EQ(x, y) → x = y`` restricted
+  to pairs of constants, which is violated exactly when the original chase
+  would have failed.
+"""
+
+from repro.reduction.reduce import EQ_RELATION, ReducedMapping, reduce_mapping
+from repro.reduction.rewrite import rewrite_query
+
+__all__ = ["EQ_RELATION", "ReducedMapping", "reduce_mapping", "rewrite_query"]

@@ -1,0 +1,315 @@
+"""The Theorem 1 reduction: ``glav+(wa-glav, egd)`` → ``gav+(gav, egd)``.
+
+See the package docstring for the construction.  The reduction runs in two
+passes:
+
+1. **Skolemize.**  Every tgd head atom becomes its own GAV rule; existential
+   variables become skolem terms over the tgd's frontier; every egd becomes
+   a rule deriving an ``EQ`` fact; EQ symmetry/transitivity and per-skolem
+   witness relations ``SK_f(x̄, f(x̄))`` are added.
+2. **Analyze and specialize.**  A fixpoint computes which positions may
+   hold skolem values (:func:`~repro.reduction.singularize.nullable_positions`);
+   joins are then mediated through ``EQ`` only where a skolem value can
+   actually flow (selective singularization), ``EQ`` reflexivity is emitted
+   only for nullable positions, and skolem congruence rules (two triggers
+   with EQ-equal frontier values must yield the same null) are emitted only
+   for skolem functions with a nullable argument.
+
+The only remaining egd is the *hard* one — ``EQ(x, y) → x = y`` over
+constants — violated exactly when the original chase would fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dependencies.egds import EGD
+from repro.dependencies.mapping import SchemaMapping
+from repro.dependencies.tgds import TGD, SkolemTerm
+from repro.reduction.singularize import (
+    EQ_RELATION,
+    nullable_positions,
+    singularize_atoms,
+)
+from repro.relational.queries import (
+    Atom,
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+)
+from repro.relational.schema import RelationSymbol, Schema
+from repro.relational.terms import Variable
+
+
+@dataclass
+class ReducedMapping:
+    """The output of :func:`reduce_mapping`.
+
+    ``gav`` is the equivalent ``gav+(gav, egd)`` schema mapping;
+    ``rewrite`` turns a CQ/UCQ over the original target schema into a UCQ
+    over the reduced schema whose constant answers coincide with the
+    original XR-Certain answers.  ``is_identity`` marks mappings that were
+    already GAV with no existentials (no rewriting needed).
+    """
+
+    original: SchemaMapping
+    gav: SchemaMapping
+    is_identity: bool
+    skolem_functions: dict[str, int] = field(default_factory=dict)
+    nullable: set[tuple[str, int]] = field(default_factory=set)
+    rewrite: Callable[
+        [ConjunctiveQuery | UnionOfConjunctiveQueries], UnionOfConjunctiveQueries
+    ] = None  # type: ignore[assignment]
+
+    def stats(self) -> dict[str, int]:
+        before = self.original.stats()
+        after = self.gav.stats()
+        return {
+            "tgds_before": before["st_tgds"] + before["target_tgds"],
+            "egds_before": before["target_egds"],
+            "tgds_after": after["st_tgds"] + after["target_tgds"],
+            "egds_after": after["target_egds"],
+            "skolem_functions": len(self.skolem_functions),
+            "nullable_positions": len(self.nullable),
+        }
+
+
+def _needs_full_reduction(mapping: SchemaMapping) -> bool:
+    has_existentials = any(
+        tgd.existential for tgd in mapping.st_tgds + mapping.target_tgds
+    )
+    multi_head = any(
+        len(tgd.head) > 1 for tgd in mapping.st_tgds + mapping.target_tgds
+    )
+    return has_existentials or multi_head or not mapping.is_gav_gav_egd()
+
+
+def _skolemize_head_atom(
+    atom: Atom, tgd: TGD, skolems: dict[Variable, SkolemTerm]
+) -> Atom:
+    terms = []
+    for term in atom.terms:
+        if isinstance(term, Variable) and term in tgd.existential:
+            terms.append(skolems[term])
+        else:
+            terms.append(term)
+    return Atom(atom.relation, terms)
+
+
+def _witness_name(function: str) -> str:
+    return f"SK__{function}"
+
+
+def reduce_mapping(mapping: SchemaMapping) -> ReducedMapping:
+    """Reduce a ``glav+(wa-glav, egd)`` mapping to ``gav+(gav, egd)``.
+
+    Raises ``ValueError`` if the target tgds are not weakly acyclic (the
+    reduction — indeed decidability — requires it).
+    """
+    if EQ_RELATION in mapping.source or EQ_RELATION in mapping.target:
+        raise ValueError(f"relation name {EQ_RELATION!r} is reserved by the reduction")
+    if mapping.target_tgds and not mapping.is_weakly_acyclic():
+        raise ValueError(
+            "the target tgds are not weakly acyclic; "
+            "XR-Certain answering is undecidable for this mapping"
+        )
+
+    if not _needs_full_reduction(mapping):
+        from repro.reduction.rewrite import identity_rewriter
+
+        return ReducedMapping(
+            original=mapping,
+            gav=mapping,
+            is_identity=True,
+            rewrite=identity_rewriter(),
+        )
+
+    target = Schema(mapping.target)
+    target.add(RelationSymbol(EQ_RELATION, 2))
+    skolem_functions: dict[str, int] = {}
+
+    def skolems_for(tgd: TGD) -> dict[Variable, SkolemTerm]:
+        frontier = sorted(tgd.frontier, key=lambda v: v.name)
+        out = {}
+        for variable in sorted(tgd.existential, key=lambda v: v.name):
+            name = f"sk_{tgd.label}_{variable.name}"
+            out[variable] = SkolemTerm(name, frontier)
+            skolem_functions[name] = len(frontier)
+        return out
+
+    # ------------------------------------------------ pass 1: skolemization
+    # raw rules: (bucket, body_atoms, head_atom, label, singularize_body?)
+    raw_rules: list[tuple[str, list[Atom], Atom, str, bool]] = []
+    # skolem witness bookkeeping: function -> witness rule body (for the
+    # nullability check deciding whether congruence is needed).
+    witness_bodies: dict[str, list[tuple[list[Atom], SkolemTerm]]] = {}
+
+    def emit_raw(
+        bucket: str, body: list[Atom], head: Atom, label: str, singularize: bool
+    ) -> None:
+        raw_rules.append((bucket, body, head, label, singularize))
+
+    def emit_skolem_witnesses(
+        bucket: str, tgd_label: str, body: list[Atom],
+        skolems: dict[Variable, SkolemTerm], singularize: bool,
+    ) -> None:
+        for variable, term in skolems.items():
+            witness = _witness_name(term.function)
+            if witness not in target:
+                target.add(RelationSymbol(witness, len(term.args) + 1))
+            witness_bodies.setdefault(term.function, []).append((body, term))
+            emit_raw(
+                bucket,
+                body,
+                Atom(witness, tuple(term.args) + (term,)),
+                f"wit_{tgd_label}_{variable.name}",
+                singularize,
+            )
+
+    for tgd in mapping.st_tgds:
+        skolems = skolems_for(tgd)
+        body = list(tgd.body)
+        for index, head_atom in enumerate(tgd.head):
+            emit_raw(
+                "st",
+                body,
+                _skolemize_head_atom(head_atom, tgd, skolems),
+                f"{tgd.label}.{index}",
+                False,  # source bodies: no EQ mediation, ever
+            )
+        emit_skolem_witnesses("st", tgd.label, body, skolems, False)
+
+    for tgd in mapping.target_tgds:
+        skolems = skolems_for(tgd)
+        body = list(tgd.body)
+        for index, head_atom in enumerate(tgd.head):
+            emit_raw(
+                "target",
+                body,
+                _skolemize_head_atom(head_atom, tgd, skolems),
+                f"{tgd.label}.{index}",
+                True,
+            )
+        emit_skolem_witnesses("target", tgd.label, body, skolems, True)
+
+    for egd in mapping.target_egds:
+        emit_raw(
+            "target",
+            list(egd.body),
+            Atom(EQ_RELATION, (egd.lhs, egd.rhs)),
+            f"eq_{egd.label}",
+            True,
+        )
+
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    emit_raw(
+        "target", [Atom(EQ_RELATION, (x, y))], Atom(EQ_RELATION, (y, x)),
+        "eq_sym", False,
+    )
+    emit_raw(
+        "target",
+        [Atom(EQ_RELATION, (x, y)), Atom(EQ_RELATION, (y, z))],
+        Atom(EQ_RELATION, (x, z)),
+        "eq_trans",
+        False,
+    )
+
+    # ------------------------------------- pass 2: analysis + specialization
+    analysis_rules = [
+        TGD(body, [head], label=label) for _, body, head, label, _ in raw_rules
+    ]
+    nullable = nullable_positions(analysis_rules)
+
+    st_rules: list[TGD] = []
+    target_rules: list[TGD] = []
+    for bucket, body, head, label, wants_singularization in raw_rules:
+        if wants_singularization:
+            new_body, eq_atoms, _ = singularize_atoms(body, nullable)
+            body = new_body + eq_atoms
+        rule = TGD(body, [head], label=label)
+        (st_rules if bucket == "st" else target_rules).append(rule)
+
+    # Skolem congruence: only when a frontier argument can be non-syntactic
+    # (i.e. bound at a nullable position in the rule body).
+    for function, bodies in witness_bodies.items():
+        needs_congruence = False
+        for body, term in bodies:
+            nullable_vars = {
+                t
+                for atom in body
+                for position, t in enumerate(atom.terms)
+                if isinstance(t, Variable) and (atom.relation, position) in nullable
+            }
+            if any(a in nullable_vars for a in term.args if isinstance(a, Variable)):
+                needs_congruence = True
+                break
+        if not needs_congruence:
+            continue
+        witness = _witness_name(function)
+        arity = skolem_functions[function]
+        left_vars = [Variable(f"cl{i}") for i in range(arity)]
+        right_vars = [Variable(f"cr{i}") for i in range(arity)]
+        value_l, value_r = Variable("cvl"), Variable("cvr")
+        congruence_body = [
+            Atom(witness, left_vars + [value_l]),
+            Atom(witness, right_vars + [value_r]),
+        ]
+        congruence_body.extend(
+            Atom(EQ_RELATION, (lv, rv)) for lv, rv in zip(left_vars, right_vars)
+        )
+        target_rules.append(
+            TGD(
+                congruence_body,
+                [Atom(EQ_RELATION, (value_l, value_r))],
+                label=f"cong_{function}",
+            )
+        )
+
+    # Reflexivity of EQ, only over nullable positions of data relations:
+    # every value that can meet a skolem through a join needs its EQ(v, v).
+    for relation in target:
+        if relation.name == EQ_RELATION:
+            continue
+        positions = [
+            p for p in range(relation.arity) if (relation.name, p) in nullable
+        ]
+        if not positions:
+            continue
+        variables = [Variable(f"r{i}") for i in range(relation.arity)]
+        atom = Atom(relation.name, variables)
+        for position in positions:
+            target_rules.append(
+                TGD(
+                    [atom],
+                    [Atom(EQ_RELATION, (variables[position], variables[position]))],
+                    label=f"eq_refl_{relation.name}_{position}",
+                )
+            )
+
+    hard_egd = EGD(
+        [Atom(EQ_RELATION, (x, y))],
+        x,
+        y,
+        label="eq_clash",
+        constants_only=True,
+        symmetric=True,
+    )
+
+    gav = SchemaMapping(
+        mapping.source,
+        target,
+        st_rules,
+        target_rules,
+        [hard_egd],
+    )
+
+    from repro.reduction.rewrite import make_rewriter
+
+    return ReducedMapping(
+        original=mapping,
+        gav=gav,
+        is_identity=False,
+        skolem_functions=skolem_functions,
+        nullable=nullable,
+        rewrite=make_rewriter(nullable),
+    )

@@ -1,0 +1,96 @@
+"""Query rewriting for the Theorem 1 reduction.
+
+A conjunctive query over the original target schema is rewritten over the
+reduced schema so that its *constant* answers on the reduced (skolem) chase
+equal its certain answers on the original chase:
+
+- the body is singularized w.r.t. the nullable positions (joins and
+  constants go through ``EQ`` only where a skolem value can flow);
+- an answer variable whose binding may be a skolem value is replaced in the
+  head by a fresh variable linked by ``EQ(x, x_ans)``: if the egds equated
+  the skolem with a constant, the constant is the answer.
+
+Callers must filter answers to constant-only tuples (``q↓``); the XR engines
+do this when grounding the query.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.reduction.singularize import EQ_RELATION, singularize_atoms
+from repro.relational.queries import (
+    Atom,
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+)
+from repro.relational.terms import Variable
+
+_answer_counter = itertools.count(1)
+
+
+def rewrite_query(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    nullable: set[tuple[str, int]],
+) -> UnionOfConjunctiveQueries:
+    """Rewrite a CQ/UCQ over the original target schema for the reduced one."""
+    if isinstance(query, ConjunctiveQuery):
+        disjuncts = [query]
+        name = query.name
+    else:
+        disjuncts = list(query.disjuncts)
+        name = query.name
+    return UnionOfConjunctiveQueries(
+        [_rewrite_disjunct(disjunct, nullable) for disjunct in disjuncts], name=name
+    )
+
+
+def _rewrite_disjunct(
+    query: ConjunctiveQuery, nullable: set[tuple[str, int]]
+) -> ConjunctiveQuery:
+    for atom in query.body:
+        if atom.relation == EQ_RELATION:
+            raise ValueError(f"queries must not mention the reserved {EQ_RELATION}")
+    new_body, eq_atoms, anchor_nullable = singularize_atoms(
+        list(query.body), nullable
+    )
+    body = new_body + eq_atoms
+    new_head: list[Variable] = []
+    for variable in query.head_vars:
+        if anchor_nullable.get(variable, False):
+            # The anchor may bind a skolem value: answer through EQ.
+            answer_var = Variable(f"{variable.name}__ans{next(_answer_counter)}")
+            body.append(Atom(EQ_RELATION, (variable, answer_var)))
+            new_head.append(answer_var)
+        else:
+            new_head.append(variable)
+    return ConjunctiveQuery(new_head, body, name=query.name)
+
+
+def make_rewriter(
+    nullable: set[tuple[str, int]],
+) -> Callable[
+    [ConjunctiveQuery | UnionOfConjunctiveQueries], UnionOfConjunctiveQueries
+]:
+    def rewrite(
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    ) -> UnionOfConjunctiveQueries:
+        return rewrite_query(query, nullable)
+
+    return rewrite
+
+
+def identity_rewriter() -> Callable[
+    [ConjunctiveQuery | UnionOfConjunctiveQueries], UnionOfConjunctiveQueries
+]:
+    """For identity reductions: wrap a CQ into a one-disjunct UCQ, unchanged."""
+
+    def rewrite(
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    ) -> UnionOfConjunctiveQueries:
+        if isinstance(query, ConjunctiveQuery):
+            return UnionOfConjunctiveQueries([query], name=query.name)
+        return query
+
+    return rewrite

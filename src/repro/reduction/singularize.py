@@ -1,0 +1,137 @@
+"""Selective singularization: joins go through ``EQ`` only where necessary.
+
+After skolemization, labelled nulls are frozen into skolem values, so two
+syntactically different values may denote the same element.  A join between
+two occurrences of a variable therefore has to be mediated by the derived
+``EQ`` relation — but *only* when one of the occurrences sits at a position
+that can actually hold a skolem value.  Joins between always-constant
+positions (e.g. transcript identifiers copied straight from the source) are
+ordinary syntactic joins: in every repair, an ``EQ`` class contains at most
+one constant, so syntactic equality and EQ-equality coincide on constants.
+
+:func:`nullable_positions` computes the positions that may hold a skolem
+value by a fixpoint over the (skolemized, pre-singularization) rules;
+:func:`singularize_atoms` rewrites a conjunction accordingly.  Restricting
+mediation this way keeps the quasi-solution, the support sets, and hence
+the repair envelopes dramatically smaller — the same kind of pruning the
+paper's "optimized implementation" of the Theorem 1 reduction performs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.dependencies.tgds import TGD, SkolemTerm
+from repro.relational.queries import Atom
+from repro.relational.terms import Const, Variable
+
+EQ_RELATION = "EQ"
+
+_fresh_counter = itertools.count(1)
+
+
+def _fresh_variable(base: str) -> Variable:
+    return Variable(f"{base}__s{next(_fresh_counter)}")
+
+
+def nullable_positions(rules: Iterable[TGD]) -> set[tuple[str, int]]:
+    """Positions ``(relation, index)`` that may hold a skolem value.
+
+    Fixpoint: a head position is nullable if its term is a skolem term, or a
+    variable occurring at some nullable body position.  The input rules must
+    be the *skolemized* single-head rules (before singularization), including
+    the egd-derived ``EQ`` rules and the EQ symmetry/transitivity rules, so
+    that nullability propagates through equalities as well.
+    """
+    rules = list(rules)
+    nullable: set[tuple[str, int]] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            nullable_vars: set[Variable] = set()
+            for atom in rule.body:
+                for position, term in enumerate(atom.terms):
+                    if (
+                        isinstance(term, Variable)
+                        and (atom.relation, position) in nullable
+                    ):
+                        nullable_vars.add(term)
+            head = rule.head[0]
+            for position, term in enumerate(head.terms):
+                key = (head.relation, position)
+                if key in nullable:
+                    continue
+                if isinstance(term, SkolemTerm) or (
+                    isinstance(term, Variable) and term in nullable_vars
+                ):
+                    nullable.add(key)
+                    changed = True
+    return nullable
+
+
+def singularize_atoms(
+    atoms: Sequence[Atom],
+    nullable: set[tuple[str, int]],
+) -> tuple[list[Atom], list[Atom], dict[Variable, bool]]:
+    """Singularize a conjunction of target atoms w.r.t. nullable positions.
+
+    Returns ``(new_atoms, eq_atoms, anchor_nullable)``:
+
+    - each variable keeps its name at an *anchor* occurrence — preferably a
+      non-nullable position (so the variable binds a constant);
+    - every other occurrence at a nullable position, or any occurrence when
+      the anchor itself is nullable, becomes a fresh variable linked by an
+      ``EQ`` atom;
+    - occurrences where both sides are non-nullable stay syntactic;
+    - a constant at a nullable position becomes a fresh variable pinned by
+      ``EQ(fresh, constant)``;
+    - ``anchor_nullable[x]`` tells callers (query rewriting) whether the
+      value bound to ``x`` may still be a skolem value.
+    """
+    # First pass: find each variable's occurrences and pick anchors.
+    occurrences: dict[Variable, list[tuple[int, int, bool]]] = {}
+    for atom_index, atom in enumerate(atoms):
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                is_nullable = (atom.relation, position) in nullable
+                occurrences.setdefault(term, []).append(
+                    (atom_index, position, is_nullable)
+                )
+
+    anchor_of: dict[Variable, tuple[int, int]] = {}
+    anchor_nullable: dict[Variable, bool] = {}
+    for variable, places in occurrences.items():
+        non_null = [p for p in places if not p[2]]
+        chosen = non_null[0] if non_null else places[0]
+        anchor_of[variable] = (chosen[0], chosen[1])
+        anchor_nullable[variable] = chosen[2]
+
+    new_atoms: list[Atom] = []
+    eq_atoms: list[Atom] = []
+    for atom_index, atom in enumerate(atoms):
+        new_terms: list[Variable | Const] = []
+        for position, term in enumerate(atom.terms):
+            is_nullable = (atom.relation, position) in nullable
+            if isinstance(term, Variable):
+                if anchor_of[term] == (atom_index, position):
+                    new_terms.append(term)
+                elif not is_nullable and not anchor_nullable[term]:
+                    # Constant-to-constant join: syntactic equality suffices.
+                    new_terms.append(term)
+                else:
+                    replacement = _fresh_variable(term.name)
+                    eq_atoms.append(Atom(EQ_RELATION, (term, replacement)))
+                    new_terms.append(replacement)
+            elif isinstance(term, Const):
+                if is_nullable:
+                    replacement = _fresh_variable("c")
+                    eq_atoms.append(Atom(EQ_RELATION, (replacement, term)))
+                    new_terms.append(replacement)
+                else:
+                    new_terms.append(term)
+            else:
+                raise TypeError(f"unexpected term {term!r} in target atom")
+        new_atoms.append(Atom(atom.relation, new_terms))
+    return new_atoms, eq_atoms, anchor_nullable

@@ -1,0 +1,79 @@
+"""Homomorphisms between instances.
+
+A homomorphism ``h`` from instance ``I`` to instance ``I'`` maps the active
+domain of ``I`` to that of ``I'``, is the identity on constants, and maps
+every fact of ``I`` to a fact of ``I'``.  Universal solutions are exactly
+the solutions that admit a homomorphism into every solution; the test suite
+uses this module to validate the chase.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.relational.instance import Fact, Instance
+from repro.relational.terms import is_constant_value
+
+
+def find_homomorphism(
+    source: Instance, target: Instance
+) -> dict[Any, Any] | None:
+    """Find a homomorphism from ``source`` into ``target``, or ``None``.
+
+    Backtracking search over the facts of ``source``, most-constrained
+    (fewest candidate images) first.
+    """
+    facts = sorted(
+        source,
+        key=lambda f: len(target.facts_of(f.relation)),
+    )
+    mapping: dict[Any, Any] = {}
+
+    def candidates(fact: Fact) -> list[Fact]:
+        # Probe the target index with the most selective determined position.
+        for pos, value in enumerate(fact.args):
+            if is_constant_value(value):
+                return target.lookup(fact.relation, pos, value)
+            if value in mapping:
+                return target.lookup(fact.relation, pos, mapping[value])
+        return list(target.facts_of(fact.relation))
+
+    def extend(index: int) -> bool:
+        if index == len(facts):
+            return True
+        fact = facts[index]
+        for image in candidates(fact):
+            if len(image.args) != len(fact.args):
+                continue
+            added: list[Any] = []
+            ok = True
+            for value, image_value in zip(fact.args, image.args):
+                if is_constant_value(value):
+                    if value != image_value:
+                        ok = False
+                        break
+                elif value in mapping:
+                    if mapping[value] != image_value:
+                        ok = False
+                        break
+                else:
+                    mapping[value] = image_value
+                    added.append(value)
+            if ok and extend(index + 1):
+                return True
+            for value in added:
+                del mapping[value]
+        return False
+
+    if extend(0):
+        # Fill in identity on constants for completeness of the returned map.
+        for value in source.active_domain():
+            if is_constant_value(value):
+                mapping.setdefault(value, value)
+        return mapping
+    return None
+
+
+def is_homomorphic_to(source: Instance, target: Instance) -> bool:
+    """True if there is a homomorphism from ``source`` into ``target``."""
+    return find_homomorphism(source, target) is not None

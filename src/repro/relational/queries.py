@@ -1,0 +1,276 @@
+"""Conjunctive queries, unions of conjunctive queries, and their evaluation.
+
+Evaluation is a backtracking index nested-loop join: at every step the atom
+with the most bound variables (and the smallest candidate set) is expanded
+next, using the instance's hash indexes.  The same matcher drives the chase
+and the grounder, so it is written as a reusable generator over bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.relational.instance import Fact, Instance
+from repro.relational.terms import Const, Variable, is_constant_value
+
+Term = Any  # Variable | Const | SkolemTerm (dependencies.skolem)
+
+
+class Atom:
+    """A relational atom ``R(t1, ..., tk)`` with variable/constant terms."""
+
+    __slots__ = ("relation", "terms", "_hash")
+
+    def __init__(self, relation: str, terms: Iterable[Term]):
+        self.relation = relation
+        self.terms = tuple(terms)
+        self._hash = hash((relation, self.terms))
+
+    def __repr__(self) -> str:
+        inner = ",".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self._hash == other._hash
+            and self.relation == other.relation
+            and self.terms == other.terms
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> set[Variable]:
+        return {t for t in self.terms if isinstance(t, Variable)}
+
+    def substitute(self, binding: dict[Variable, Any]) -> Fact:
+        """Instantiate this atom into a fact under a total binding."""
+        args = []
+        for term in self.terms:
+            if isinstance(term, Variable):
+                args.append(binding[term])
+            elif isinstance(term, Const):
+                args.append(term.value)
+            else:
+                raise TypeError(f"cannot ground term {term!r}")
+        return Fact(self.relation, args)
+
+
+def _match_atom(
+    instance: Instance, atom: Atom, binding: dict[Variable, Any]
+) -> Iterator[dict[Variable, Any]]:
+    """Yield extensions of ``binding`` matching ``atom`` against ``instance``."""
+    # Pick an indexed position: a constant term or an already-bound variable.
+    probe_pos = -1
+    probe_val = None
+    for pos, term in enumerate(atom.terms):
+        if isinstance(term, Const):
+            probe_pos, probe_val = pos, term.value
+            break
+        if isinstance(term, Variable) and term in binding:
+            probe_pos, probe_val = pos, binding[term]
+            break
+    if probe_pos >= 0:
+        candidates: Iterable[Fact] = instance.lookup(atom.relation, probe_pos, probe_val)
+    else:
+        candidates = instance.facts_of(atom.relation)
+
+    terms = atom.terms
+    for fact in candidates:
+        if len(fact.args) != len(terms):
+            continue
+        local: dict[Variable, Any] | None = dict(binding)
+        for term, value in zip(terms, fact.args):
+            if isinstance(term, Variable):
+                bound = local.get(term)
+                if bound is None and term not in local:
+                    local[term] = value
+                elif bound != value:
+                    local = None
+                    break
+            elif isinstance(term, Const):
+                if term.value != value:
+                    local = None
+                    break
+            else:
+                raise TypeError(f"unexpected term in body atom: {term!r}")
+        if local is not None:
+            yield local
+
+
+def plan_join_order(
+    instance: Instance,
+    atoms: Sequence[Atom],
+    bound_vars: set[Variable],
+) -> list[Atom]:
+    """Greedy join order: most bound/constant terms first, small relations
+    breaking ties.  The order depends only on *which* variables are bound,
+    never on their values, so one plan serves the whole enumeration.
+    """
+    remaining = list(atoms)
+    sizes = {
+        atom.relation: len(instance.facts_of(atom.relation)) for atom in atoms
+    }
+    bound = set(bound_vars)
+    order: list[Atom] = []
+    while remaining:
+        best_index = 0
+        best_key: tuple[int, int] | None = None
+        for index, atom in enumerate(remaining):
+            bound_terms = sum(
+                1
+                for t in atom.terms
+                if isinstance(t, Const) or (isinstance(t, Variable) and t in bound)
+            )
+            key = (-bound_terms, sizes[atom.relation])
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        chosen = remaining.pop(best_index)
+        order.append(chosen)
+        bound |= chosen.variables()
+    return order
+
+
+def match_atoms(
+    instance: Instance,
+    atoms: Sequence[Atom],
+    binding: dict[Variable, Any] | None = None,
+) -> Iterator[dict[Variable, Any]]:
+    """Yield all bindings satisfying every atom in ``atoms`` over ``instance``.
+
+    Index nested-loop join along a greedily planned atom order, with an
+    explicit backtracking stack (no recursion, no per-level re-sorting).
+    """
+    if binding is None:
+        binding = {}
+    if not atoms:
+        yield dict(binding)
+        return
+
+    order = plan_join_order(instance, atoms, set(binding))
+    depth = len(order)
+    stack: list[Iterator[dict[Variable, Any]]] = [
+        _match_atom(instance, order[0], binding)
+    ]
+    while stack:
+        extended = next(stack[-1], None)
+        if extended is None:
+            stack.pop()
+            continue
+        if len(stack) == depth:
+            yield extended
+        else:
+            stack.append(_match_atom(instance, order[len(stack)], extended))
+
+
+class ConjunctiveQuery:
+    """A conjunctive query ``q(x) :- A1, ..., An [, s != t, ...]``.
+
+    ``head_vars`` lists the answer variables (possibly empty, for a Boolean
+    query).  Optional ``inequalities`` are pairs of terms required to be
+    distinct — used internally by dependency machinery; plain paper queries
+    have none.
+    """
+
+    __slots__ = ("name", "head_vars", "body", "inequalities")
+
+    def __init__(
+        self,
+        head_vars: Sequence[Variable],
+        body: Sequence[Atom],
+        inequalities: Sequence[tuple[Term, Term]] = (),
+        name: str = "q",
+    ):
+        self.name = name
+        self.head_vars = tuple(head_vars)
+        self.body = tuple(body)
+        self.inequalities = tuple(inequalities)
+        body_vars = set().union(*(a.variables() for a in body)) if body else set()
+        missing = [v for v in self.head_vars if v not in body_vars]
+        if missing:
+            raise ValueError(f"unsafe query: head variables {missing} not in body")
+
+    def variables(self) -> set[Variable]:
+        out: set[Variable] = set()
+        for atom in self.body:
+            out |= atom.variables()
+        return out
+
+    def is_boolean(self) -> bool:
+        return not self.head_vars
+
+    def __repr__(self) -> str:
+        head = ",".join(v.name for v in self.head_vars)
+        body = ", ".join(repr(a) for a in self.body)
+        return f"{self.name}({head}) :- {body}"
+
+
+class UnionOfConjunctiveQueries:
+    """A union of conjunctive queries with a shared head signature."""
+
+    __slots__ = ("name", "disjuncts")
+
+    def __init__(self, disjuncts: Sequence[ConjunctiveQuery], name: str = "q"):
+        if not disjuncts:
+            raise ValueError("a UCQ needs at least one disjunct")
+        widths = {len(d.head_vars) for d in disjuncts}
+        if len(widths) != 1:
+            raise ValueError(f"disjuncts disagree on head width: {widths}")
+        self.name = name
+        self.disjuncts = tuple(disjuncts)
+
+    @property
+    def head_width(self) -> int:
+        return len(self.disjuncts[0].head_vars)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __repr__(self) -> str:
+        return " ∨ ".join(repr(d) for d in self.disjuncts)
+
+
+def _binding_satisfies_inequalities(
+    cq: ConjunctiveQuery, binding: dict[Variable, Any]
+) -> bool:
+    for left, right in cq.inequalities:
+        lval = binding[left] if isinstance(left, Variable) else left.value
+        rval = binding[right] if isinstance(right, Variable) else right.value
+        if lval == rval:
+            return False
+    return True
+
+
+def evaluate(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries, instance: Instance
+) -> set[tuple]:
+    """All answers ``q(I)`` of ``query`` on ``instance`` (tuples of values)."""
+    if isinstance(query, UnionOfConjunctiveQueries):
+        answers: set[tuple] = set()
+        for disjunct in query:
+            answers |= evaluate(disjunct, instance)
+        return answers
+
+    answers = set()
+    for binding in match_atoms(instance, query.body):
+        if not _binding_satisfies_inequalities(query, binding):
+            continue
+        answers.add(tuple(binding[v] for v in query.head_vars))
+    return answers
+
+
+def evaluate_constants_only(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries, instance: Instance
+) -> set[tuple]:
+    """The null-free answers ``q↓(I)``: answers whose values are all constants."""
+    return {
+        row
+        for row in evaluate(query, instance)
+        if all(is_constant_value(v) for v in row)
+    }

@@ -1,0 +1,355 @@
+"""iBench-style mapping primitives and scenario generation.
+
+A :class:`ScenarioBuilder` accumulates primitives; each primitive
+contributes a source relation (or two), target relations, s-t tgds, and —
+where the primitive has a natural key — key egds exposing conflicts.
+``build()`` returns an :class:`IBenchScenario` bundling the schema mapping
+with a seeded source-instance generator whose *conflict rate* controls the
+fraction of keys receiving two competing rows.
+
+Primitives (names follow iBench where they coincide):
+
+=============  =============================================================
+``copy``       ``R(x̄) → T(x̄)`` with a key on the first attribute
+``projection`` ``R(x̄) → T(x̄|keep)`` (iBench DL: delete attributes)
+``augment``    ``R(x̄) → ∃ȳ T(x̄, ȳ)`` (iBench ADD: added attributes)
+``vpartition`` ``R(k, ā, b̄) → T1(k, ā), T2(k, b̄)`` (iBench VP)
+``fusion``     ``Ra(x̄) → T(x̄)``, ``Rb(x̄) → T(x̄)`` (iBench-style merge —
+               the two sources compete on T's key, the conflict channel)
+``selfjoin``   ``R(x, y) → T(x, y)`` plus transitive closure on ``T``
+               (target tgds beyond GAV; weakly acyclic)
+=============  =============================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dependencies.egds import EGD
+from repro.dependencies.mapping import SchemaMapping
+from repro.dependencies.tgds import TGD
+from repro.relational.instance import Fact, Instance
+from repro.relational.queries import Atom
+from repro.relational.schema import RelationSymbol, Schema
+from repro.relational.terms import Variable
+
+
+def _vars(prefix: str, count: int) -> list[Variable]:
+    return [Variable(f"{prefix}{i}") for i in range(count)]
+
+
+def _key_egds(relation: str, arity: int, tag: str) -> list[EGD]:
+    """Key on position 0: one egd per dependent attribute."""
+    first = _vars("a", arity)
+    second = [first[0]] + _vars("b", arity - 1)
+    egds = []
+    for position in range(1, arity):
+        egds.append(
+            EGD(
+                [Atom(relation, first), Atom(relation, second)],
+                first[position],
+                second[position],
+                label=f"key_{tag}_{position}",
+            )
+        )
+    return egds
+
+
+@dataclass
+class _Primitive:
+    """One instantiated primitive: its schema pieces plus a row emitter."""
+
+    name: str
+    source_relations: list[RelationSymbol]
+    target_relations: list[RelationSymbol]
+    st_tgds: list[TGD]
+    target_tgds: list[TGD] = field(default_factory=list)
+    target_egds: list[EGD] = field(default_factory=list)
+    # emit(instance, rng, key_index, conflicted) -> None
+    emit: Callable[[Instance, random.Random, int, bool], None] = None  # type: ignore[assignment]
+
+
+class ScenarioBuilder:
+    """Accumulates iBench-style primitives into one schema mapping."""
+
+    def __init__(self) -> None:
+        self._primitives: list[_Primitive] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    def _tag(self, kind: str) -> str:
+        self._counter += 1
+        return f"{kind}{self._counter}"
+
+    def _add(self, primitive: _Primitive) -> "ScenarioBuilder":
+        self._primitives.append(primitive)
+        return self
+
+    # ----------------------------------------------------------- primitives
+
+    def copy(self, arity: int = 3) -> "ScenarioBuilder":
+        tag = self._tag("cp")
+        src, tgt = f"R_{tag}", f"T_{tag}"
+        xs = _vars("x", arity)
+        tgd = TGD([Atom(src, xs)], [Atom(tgt, xs)], label=tag)
+
+        def emit(instance, rng, key, conflicted):
+            row = [f"{tag}_k{key}"] + [
+                f"{tag}_v{key}_{i}" for i in range(arity - 1)
+            ]
+            instance.add(Fact(src, row))
+            if conflicted:
+                clash = list(row)
+                clash[-1] = f"{tag}_alt{key}"
+                instance.add(Fact(src, clash))
+
+        return self._add(
+            _Primitive(
+                tag,
+                [RelationSymbol(src, arity)],
+                [RelationSymbol(tgt, arity)],
+                [tgd],
+                target_egds=_key_egds(tgt, arity, tag),
+                emit=emit,
+            )
+        )
+
+    def projection(self, arity: int = 4, keep: int = 2) -> "ScenarioBuilder":
+        if not 1 <= keep <= arity:
+            raise ValueError("keep must be between 1 and arity")
+        tag = self._tag("dl")
+        src, tgt = f"R_{tag}", f"T_{tag}"
+        xs = _vars("x", arity)
+        tgd = TGD([Atom(src, xs)], [Atom(tgt, xs[:keep])], label=tag)
+
+        def emit(instance, rng, key, conflicted):
+            row = [f"{tag}_k{key}"] + [
+                f"{tag}_v{key}_{i}" for i in range(arity - 1)
+            ]
+            instance.add(Fact(src, row))
+            if conflicted and keep >= 2:
+                clash = list(row)
+                clash[keep - 1] = f"{tag}_alt{key}"
+                instance.add(Fact(src, clash))
+
+        return self._add(
+            _Primitive(
+                tag,
+                [RelationSymbol(src, arity)],
+                [RelationSymbol(tgt, keep)],
+                [tgd],
+                target_egds=_key_egds(tgt, keep, tag) if keep >= 2 else [],
+                emit=emit,
+            )
+        )
+
+    def augment(self, arity: int = 2, added: int = 2) -> "ScenarioBuilder":
+        tag = self._tag("add")
+        src, tgt = f"R_{tag}", f"T_{tag}"
+        xs = _vars("x", arity)
+        ys = _vars("y", added)
+        tgd = TGD([Atom(src, xs)], [Atom(tgt, xs + ys)], label=tag)
+
+        def emit(instance, rng, key, conflicted):
+            row = [f"{tag}_k{key}"] + [
+                f"{tag}_v{key}_{i}" for i in range(arity - 1)
+            ]
+            instance.add(Fact(src, row))
+            if conflicted and arity >= 2:
+                clash = list(row)
+                clash[-1] = f"{tag}_alt{key}"
+                instance.add(Fact(src, clash))
+
+        return self._add(
+            _Primitive(
+                tag,
+                [RelationSymbol(src, arity)],
+                [RelationSymbol(tgt, arity + added)],
+                [tgd],
+                target_egds=_key_egds(tgt, arity + added, tag),
+                emit=emit,
+            )
+        )
+
+    def vpartition(self, left: int = 2, right: int = 2) -> "ScenarioBuilder":
+        tag = self._tag("vp")
+        src = f"R_{tag}"
+        first, second = f"T_{tag}a", f"T_{tag}b"
+        arity = 1 + left + right
+        key = _vars("k", 1)
+        ls, rs = _vars("l", left), _vars("r", right)
+        tgd = TGD(
+            [Atom(src, key + ls + rs)],
+            [Atom(first, key + ls), Atom(second, key + rs)],
+            label=tag,
+        )
+
+        def emit(instance, rng, index, conflicted):
+            row = [f"{tag}_k{index}"] + [
+                f"{tag}_v{index}_{i}" for i in range(arity - 1)
+            ]
+            instance.add(Fact(src, row))
+            if conflicted:
+                clash = list(row)
+                clash[1] = f"{tag}_alt{index}"  # clash inside the left part
+                instance.add(Fact(src, clash))
+
+        return self._add(
+            _Primitive(
+                tag,
+                [RelationSymbol(src, arity)],
+                [
+                    RelationSymbol(first, 1 + left),
+                    RelationSymbol(second, 1 + right),
+                ],
+                [tgd],
+                target_egds=_key_egds(first, 1 + left, f"{tag}a")
+                + _key_egds(second, 1 + right, f"{tag}b"),
+                emit=emit,
+            )
+        )
+
+    def fusion(self, arity: int = 3) -> "ScenarioBuilder":
+        tag = self._tag("fu")
+        src_a, src_b, tgt = f"Ra_{tag}", f"Rb_{tag}", f"T_{tag}"
+        xs = _vars("x", arity)
+        tgds = [
+            TGD([Atom(src_a, xs)], [Atom(tgt, xs)], label=f"{tag}a"),
+            TGD([Atom(src_b, xs)], [Atom(tgt, xs)], label=f"{tag}b"),
+        ]
+
+        def emit(instance, rng, key, conflicted):
+            row = [f"{tag}_k{key}"] + [
+                f"{tag}_v{key}_{i}" for i in range(arity - 1)
+            ]
+            instance.add(Fact(src_a, row))
+            other = list(row)
+            if conflicted:
+                other[-1] = f"{tag}_alt{key}"  # the two sources disagree
+            instance.add(Fact(src_b, other))
+
+        return self._add(
+            _Primitive(
+                tag,
+                [RelationSymbol(src_a, arity), RelationSymbol(src_b, arity)],
+                [RelationSymbol(tgt, arity)],
+                tgds,
+                target_egds=_key_egds(tgt, arity, tag),
+                emit=emit,
+            )
+        )
+
+    def selfjoin(self, chain: int = 3) -> "ScenarioBuilder":
+        """Successor edges with a functional constraint, transitively closed
+        into a separate reachability relation (the egd must live on the
+        *base* edges: a functional egd on the closure itself would be
+        violated by any chain of length ≥ 2)."""
+        tag = self._tag("sj")
+        src, tgt, closed = f"R_{tag}", f"T_{tag}", f"TC_{tag}"
+        x, y, z = _vars("v", 3)
+        st_tgd = TGD([Atom(src, [x, y])], [Atom(tgt, [x, y])], label=tag)
+        lift = TGD([Atom(tgt, [x, y])], [Atom(closed, [x, y])], label=f"{tag}_lift")
+        closure = TGD(
+            [Atom(closed, [x, y]), Atom(closed, [y, z])],
+            [Atom(closed, [x, z])],
+            label=f"{tag}_trans",
+        )
+
+        def emit(instance, rng, key, conflicted):
+            # A short chain per key; a conflict forks the chain's head so
+            # the functional-successor egd fires there.
+            base = f"{tag}_n{key}"
+            for step in range(chain):
+                instance.add(Fact(src, (f"{base}_{step}", f"{base}_{step + 1}")))
+            if conflicted:
+                instance.add(Fact(src, (f"{base}_0", f"{base}_fork")))
+
+        successor = EGD(
+            [Atom(tgt, [x, y]), Atom(tgt, [x, z])],
+            y,
+            z,
+            label=f"{tag}_fun",
+        )
+        return self._add(
+            _Primitive(
+                tag,
+                [RelationSymbol(src, 2)],
+                [RelationSymbol(tgt, 2), RelationSymbol(closed, 2)],
+                [st_tgd],
+                target_tgds=[lift, closure],
+                target_egds=[successor],
+                emit=emit,
+            )
+        )
+
+    # --------------------------------------------------------------- build
+
+    def build(self) -> "IBenchScenario":
+        if not self._primitives:
+            raise ValueError("add at least one primitive before building")
+        source, target = Schema(), Schema()
+        st_tgds, target_tgds, target_egds = [], [], []
+        for primitive in self._primitives:
+            for relation in primitive.source_relations:
+                source.add(relation)
+            for relation in primitive.target_relations:
+                target.add(relation)
+            st_tgds.extend(primitive.st_tgds)
+            target_tgds.extend(primitive.target_tgds)
+            target_egds.extend(primitive.target_egds)
+        mapping = SchemaMapping(source, target, st_tgds, target_tgds, target_egds)
+        return IBenchScenario(mapping=mapping, primitives=list(self._primitives))
+
+
+@dataclass
+class IBenchScenario:
+    """A built scenario: the mapping plus a seeded instance generator."""
+
+    mapping: SchemaMapping
+    primitives: list[_Primitive]
+
+    def generate(
+        self,
+        keys_per_primitive: int = 10,
+        conflict_rate: float = 0.1,
+        seed: int = 0,
+    ) -> Instance:
+        """A source instance with ~``conflict_rate`` of keys conflicted."""
+        rng = random.Random(seed)
+        instance = Instance()
+        for primitive in self.primitives:
+            for key in range(keys_per_primitive):
+                conflicted = rng.random() < conflict_rate
+                primitive.emit(instance, rng, key, conflicted)
+        return instance
+
+
+PRIMITIVES = ("copy", "projection", "augment", "vpartition", "fusion", "selfjoin")
+
+
+def random_ibench_scenario(
+    seed: int,
+    size: int = 4,
+) -> IBenchScenario:
+    """A random composition of ``size`` primitives (seeded)."""
+    rng = random.Random(seed)
+    builder = ScenarioBuilder()
+    for _ in range(size):
+        kind = rng.choice(PRIMITIVES)
+        if kind == "copy":
+            builder.copy(arity=rng.randint(2, 4))
+        elif kind == "projection":
+            arity = rng.randint(2, 5)
+            builder.projection(arity=arity, keep=rng.randint(2, arity))
+        elif kind == "augment":
+            builder.augment(arity=rng.randint(2, 3), added=rng.randint(1, 2))
+        elif kind == "vpartition":
+            builder.vpartition(left=rng.randint(1, 3), right=rng.randint(1, 3))
+        elif kind == "fusion":
+            builder.fusion(arity=rng.randint(2, 4))
+        else:
+            builder.selfjoin(chain=rng.randint(2, 4))
+    return builder.build()

@@ -1,0 +1,12 @@
+"""Persistent storage for instances.
+
+The paper's segmentary implementation materializes the exchanged target
+instance in MySQL.  This package provides the equivalent capability on
+SQLite (always available in the standard library): save/load instances to a
+database file, round-trip nulls and skolem values through a text encoding,
+and run simple relational scans in SQL.
+"""
+
+from repro.storage.sqlite_store import SQLiteInstanceStore
+
+__all__ = ["SQLiteInstanceStore"]

@@ -1,0 +1,202 @@
+"""SQLite-backed instance store.
+
+Stores each relation in its own table with ``TEXT`` columns; values are
+encoded so that constants (strings, ints, floats), labelled nulls, and
+skolem values round-trip losslessly:
+
+========= =======================================
+``s:...`` a string constant
+``i:...`` an integer constant
+``f:...`` a float constant
+``n:...`` a labelled null
+``k:...`` a skolem value (nested, JSON-encoded)
+========= =======================================
+
+The store is the persistence layer the exchange phase can materialize into
+(the paper uses MySQL for the same purpose); the in-memory
+:class:`~repro.relational.instance.Instance` remains the evaluation
+structure.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sqlite3
+from typing import Any, Iterable
+
+from repro.relational.instance import Fact, Instance
+from repro.relational.schema import RelationSymbol, Schema
+from repro.relational.terms import Null, SkolemValue
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def encode_value(value: Any) -> str:
+    """Encode a value as a tagged string (see module docstring)."""
+    if isinstance(value, Null):
+        return f"n:{value.label}"
+    if isinstance(value, SkolemValue):
+        return "k:" + json.dumps(_skolem_to_json(value))
+    if isinstance(value, bool):
+        raise TypeError("boolean values are not supported in instances")
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return f"f:{value}"
+    if isinstance(value, str):
+        return f"s:{value}"
+    raise TypeError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(encoded: str) -> Any:
+    """Invert :func:`encode_value`."""
+    tag, _, payload = encoded.partition(":")
+    if tag == "s":
+        return payload
+    if tag == "i":
+        return int(payload)
+    if tag == "f":
+        return float(payload)
+    if tag == "n":
+        return Null(int(payload) if payload.isdigit() else payload)
+    if tag == "k":
+        return _skolem_from_json(json.loads(payload))
+    raise ValueError(f"malformed encoded value: {encoded!r}")
+
+
+def _skolem_to_json(value: SkolemValue) -> dict:
+    return {
+        "f": value.function,
+        "a": [
+            _skolem_to_json(a) if isinstance(a, SkolemValue) else encode_value(a)
+            for a in value.args
+        ],
+    }
+
+
+def _skolem_from_json(data: dict) -> SkolemValue:
+    args = tuple(
+        _skolem_from_json(a) if isinstance(a, dict) else decode_value(a)
+        for a in data["a"]
+    )
+    return SkolemValue(data["f"], args)
+
+
+class SQLiteInstanceStore:
+    """Save and load :class:`Instance` objects in a SQLite database."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.connection = sqlite3.connect(path)
+        self.connection.execute(
+            "CREATE TABLE IF NOT EXISTS __relations__ "
+            "(name TEXT PRIMARY KEY, arity INTEGER NOT NULL)"
+        )
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SQLiteInstanceStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid relation name for SQL storage: {name!r}")
+        return name
+
+    def _ensure_table(self, relation: str, arity: int) -> None:
+        self._check_name(relation)
+        row = self.connection.execute(
+            "SELECT arity FROM __relations__ WHERE name = ?", (relation,)
+        ).fetchone()
+        if row is not None:
+            if row[0] != arity:
+                raise ValueError(
+                    f"relation {relation} stored with arity {row[0]}, got {arity}"
+                )
+            return
+        columns = ", ".join(f"c{i} TEXT NOT NULL" for i in range(arity))
+        unique = ", ".join(f"c{i}" for i in range(arity))
+        if arity:
+            self.connection.execute(
+                f"CREATE TABLE rel_{relation} ({columns}, UNIQUE ({unique}))"
+            )
+        else:
+            self.connection.execute(
+                f"CREATE TABLE rel_{relation} (present INTEGER UNIQUE)"
+            )
+        self.connection.execute(
+            "INSERT INTO __relations__ (name, arity) VALUES (?, ?)",
+            (relation, arity),
+        )
+
+    # ---------------------------------------------------------------- write
+
+    def save(self, instance: Instance | Iterable[Fact]) -> int:
+        """Insert all facts (idempotent); returns the number inserted."""
+        inserted = 0
+        for fact in instance:
+            self._ensure_table(fact.relation, fact.arity)
+            if fact.arity:
+                placeholders = ", ".join("?" for _ in fact.args)
+                cursor = self.connection.execute(
+                    f"INSERT OR IGNORE INTO rel_{fact.relation} "
+                    f"VALUES ({placeholders})",
+                    tuple(encode_value(v) for v in fact.args),
+                )
+            else:
+                cursor = self.connection.execute(
+                    f"INSERT OR IGNORE INTO rel_{fact.relation} VALUES (1)"
+                )
+            inserted += cursor.rowcount if cursor.rowcount > 0 else 0
+        self.connection.commit()
+        return inserted
+
+    def clear(self, relation: str) -> None:
+        self._check_name(relation)
+        self.connection.execute(f"DELETE FROM rel_{relation}")
+        self.connection.commit()
+
+    # ----------------------------------------------------------------- read
+
+    def relations(self) -> Schema:
+        schema = Schema()
+        for name, arity in self.connection.execute(
+            "SELECT name, arity FROM __relations__"
+        ):
+            schema.add(RelationSymbol(name, arity))
+        return schema
+
+    def load(self, relations: Iterable[str] | None = None) -> Instance:
+        """Load the stored facts (optionally restricted to some relations)."""
+        instance = Instance()
+        wanted = set(relations) if relations is not None else None
+        for relation in self.relations():
+            if wanted is not None and relation.name not in wanted:
+                continue
+            if relation.arity:
+                rows = self.connection.execute(f"SELECT * FROM rel_{relation.name}")
+                for row in rows:
+                    instance.add(
+                        Fact(relation.name, tuple(decode_value(v) for v in row))
+                    )
+            else:
+                row = self.connection.execute(
+                    f"SELECT present FROM rel_{relation.name}"
+                ).fetchone()
+                if row is not None:
+                    instance.add(Fact(relation.name, ()))
+        return instance
+
+    def count(self, relation: str) -> int:
+        self._check_name(relation)
+        row = self.connection.execute(
+            f"SELECT COUNT(*) FROM rel_{relation}"
+        ).fetchone()
+        return int(row[0])

@@ -1,0 +1,37 @@
+"""Exchange-repair (XR-Certain) query answering — the paper's contribution.
+
+- :mod:`repro.xr.oracle`      — Definition 1 implemented literally (source
+  repairs by exhaustive enumeration); the ground truth for tests.
+- :mod:`repro.xr.exchange`    — the quasi-solution, rule groundings, support
+  sets, and egd violations shared by both engines.
+- :mod:`repro.xr.program`     — the Figure 1 disjunctive program (Theorem 2),
+  built directly in ground form, optionally restricted to a focus/safe split.
+- :mod:`repro.xr.monolithic`  — Section 4/5: one large program per query.
+- :mod:`repro.xr.envelope`    — Section 6.2/6.3: suspect facts, repair
+  envelopes, influences, violation clusters.
+- :mod:`repro.xr.segmentary`  — Section 6.4/6.5: exchange phase + per-
+  signature query phase.
+"""
+
+from repro.xr.oracle import source_repairs, xr_certain_oracle, xr_possible_oracle
+from repro.xr.exchange import ExchangeData, Violation, build_exchange_data
+from repro.xr.monolithic import MonolithicEngine
+from repro.xr.envelope import EnvelopeAnalysis, analyze_envelopes
+from repro.xr.segmentary import SegmentaryEngine
+from repro.xr.solutions import XRSolution, count_source_repairs, xr_solutions
+
+__all__ = [
+    "source_repairs",
+    "xr_certain_oracle",
+    "xr_possible_oracle",
+    "XRSolution",
+    "xr_solutions",
+    "count_source_repairs",
+    "ExchangeData",
+    "Violation",
+    "build_exchange_data",
+    "MonolithicEngine",
+    "EnvelopeAnalysis",
+    "analyze_envelopes",
+    "SegmentaryEngine",
+]

@@ -1,0 +1,167 @@
+"""Repair envelopes, suspect facts, influences, violation clusters (§6.2–6.3).
+
+Definitions implemented here (numbers refer to the paper):
+
+- **support closure** (Def. 4): backward closure of a set of facts under
+  "all facts of any support set belong too";
+- **violations / suspect / safe** (Def. 5): a source fact is *suspect* when
+  it lies in the support closure of the egd violations; ``Isuspect`` is a
+  source repair envelope computable in PTIME (Prop. 3);
+- **influence** (Def. 7): forward closure — every fact with a support set
+  meeting the influence joins it; ``(Isuspect, Jsuspect)`` is an exchange
+  repair envelope (Prop. 4);
+- **violation clusters** (Def. 8 / Prop. 5–6): violations whose support
+  closures share source facts are grouped; distinct clusters have disjoint
+  source envelopes and are therefore pairwise-independent, so their repairs
+  can be explored separately and recombined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chase.gav import gav_chase
+from repro.relational.instance import Fact, Instance
+from repro.xr.exchange import ExchangeData, Violation
+
+
+def support_closure(facts: set[Fact], data: ExchangeData) -> set[Fact]:
+    """The support closure (Def. 4): smallest superset closed under supports."""
+    closure = set(facts)
+    frontier = list(facts)
+    while frontier:
+        fact = frontier.pop()
+        for grounding_index in data.supports_of.get(fact, ()):
+            _rule, body_facts, _head = data.groundings[grounding_index]
+            for body_fact in body_facts:
+                if body_fact not in closure:
+                    closure.add(body_fact)
+                    frontier.append(body_fact)
+    return closure
+
+
+def influence(seed: set[Fact], data: ExchangeData) -> set[Fact]:
+    """The influence (Def. 7): forward closure through support sets."""
+    influenced = set(seed)
+    frontier = list(seed)
+    while frontier:
+        fact = frontier.pop()
+        for grounding_index in data.occurs_in_body_of.get(fact, ()):
+            _rule, _body, head_fact = data.groundings[grounding_index]
+            if head_fact not in influenced:
+                influenced.add(head_fact)
+                frontier.append(head_fact)
+    return influenced
+
+
+@dataclass
+class ViolationCluster:
+    """A connected component of pairwise-dependent violations."""
+
+    index: int
+    violations: list[Violation]
+    closure: set[Fact]  # union of the violations' support closures
+    source_envelope: set[Fact] = field(default_factory=set)
+    influence: set[Fact] = field(default_factory=set)
+
+
+@dataclass
+class EnvelopeAnalysis:
+    """The exchange-phase artifacts: safe/suspect split and clusters."""
+
+    data: ExchangeData
+    suspect_source: set[Fact]
+    safe_source: set[Fact]
+    clusters: list[ViolationCluster]
+    safe_chased: Instance  # Isafe ∪ chase(Isafe): everything certainly kept
+    # fact -> indexes of clusters whose influence contains it.
+    cluster_membership: dict[Fact, set[int]] = field(default_factory=dict)
+
+    def signature(self, support_facts: set[Fact]) -> frozenset[int]:
+        """The signature (§6.4) of a candidate given its support-set facts."""
+        clusters: set[int] = set()
+        for fact in support_facts:
+            clusters |= self.cluster_membership.get(fact, set())
+        return frozenset(clusters)
+
+    def is_safe_fact(self, fact: Fact) -> bool:
+        return fact in self.safe_chased
+
+
+class _UnionFind:
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+
+    def find(self, index: int) -> int:
+        root = index
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[index] != root:
+            self.parent[index], index = root, self.parent[index]
+        return root
+
+    def union(self, left: int, right: int) -> None:
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root != right_root:
+            self.parent[right_root] = left_root
+
+
+def analyze_envelopes(data: ExchangeData) -> EnvelopeAnalysis:
+    """Run the exchange-phase analysis of Section 6 on exchange data."""
+    source_facts = data.source_facts
+
+    # Per-violation support closures and the suspect set.
+    violation_closures = [
+        support_closure(set(v.body_facts), data) for v in data.violations
+    ]
+    suspect_source: set[Fact] = set()
+    for closure in violation_closures:
+        suspect_source |= closure & source_facts
+    safe_source = source_facts - suspect_source
+
+    # Cluster violations that share a suspect source fact (Prop. 5/6: the
+    # source restrictions of the closures are repair envelopes; overlap
+    # means possible dependence).
+    union_find = _UnionFind(len(data.violations))
+    owner_of: dict[Fact, int] = {}
+    for index, closure in enumerate(violation_closures):
+        for fact in closure & source_facts:
+            previous = owner_of.get(fact)
+            if previous is None:
+                owner_of[fact] = index
+            else:
+                union_find.union(previous, index)
+
+    grouped: dict[int, list[int]] = {}
+    for index in range(len(data.violations)):
+        grouped.setdefault(union_find.find(index), []).append(index)
+
+    clusters: list[ViolationCluster] = []
+    for cluster_index, member_indexes in enumerate(sorted(grouped.values())):
+        closure: set[Fact] = set()
+        for violation_index in member_indexes:
+            closure |= violation_closures[violation_index]
+        cluster = ViolationCluster(
+            index=cluster_index,
+            violations=[data.violations[i] for i in member_indexes],
+            closure=closure,
+            source_envelope=closure & source_facts,
+        )
+        cluster.influence = influence(cluster.source_envelope, data)
+        clusters.append(cluster)
+
+    safe_chased = gav_chase(
+        Instance(safe_source), list(data.mapping.all_tgds())
+    )
+
+    analysis = EnvelopeAnalysis(
+        data=data,
+        suspect_source=suspect_source,
+        safe_source=safe_source,
+        clusters=clusters,
+        safe_chased=safe_chased,
+    )
+    for cluster in clusters:
+        for fact in cluster.influence:
+            analysis.cluster_membership.setdefault(fact, set()).add(cluster.index)
+    return analysis

@@ -1,0 +1,136 @@
+"""Shared exchange computation: quasi-solution, groundings, violations.
+
+Both engines start the same way (for a reduced ``gav+(gav, egd)`` mapping):
+
+- chase the source instance with the tgds only — the **canonical
+  quasi-solution** of Definition 2;
+- enumerate every grounding of every tgd over the chased instance — these
+  are the **support sets** of Definition 4;
+- enumerate every grounded egd with a satisfied body, and mark as
+  **violations** those whose equality fails (for constants-only egds, only
+  clashes between two distinct constants count — skolem values stand for
+  nulls, which the original chase would simply unify).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chase.gav import enumerate_groundings, gav_chase
+from repro.dependencies.egds import EGD
+from repro.dependencies.mapping import SchemaMapping
+from repro.dependencies.tgds import TGD
+from repro.relational.instance import Fact, Instance
+from repro.relational.queries import match_atoms
+from repro.relational.terms import Variable, is_constant_value
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A grounded egd with satisfied body and a failing equality."""
+
+    egd: EGD
+    body_facts: tuple[Fact, ...]
+    lhs_value: object
+    rhs_value: object
+
+    def __repr__(self) -> str:
+        return (
+            f"Violation({self.egd.label}: {self.lhs_value!r} ≠ {self.rhs_value!r} "
+            f"from {list(self.body_facts)})"
+        )
+
+
+@dataclass
+class ExchangeData:
+    """The query-independent exchange computation for a gav mapping."""
+
+    mapping: SchemaMapping
+    source_instance: Instance
+    chased: Instance  # I ∪ J: source facts plus the canonical quasi-solution
+    groundings: list[tuple[TGD, tuple[Fact, ...], Fact]]
+    violations: list[Violation]
+    # fact -> indexes into `groundings` with the fact in the body (supports
+    # flowing *forward*) and with the fact as the head (supports of the fact).
+    supports_of: dict[Fact, list[int]] = field(default_factory=dict)
+    occurs_in_body_of: dict[Fact, list[int]] = field(default_factory=dict)
+
+    @property
+    def source_facts(self) -> set[Fact]:
+        return set(self.source_instance)
+
+    def target_facts(self) -> set[Fact]:
+        source_names = self.mapping.source.names()
+        return {f for f in self.chased if f.relation not in source_names}
+
+    def quasi_solution(self) -> Instance:
+        """The canonical quasi-solution (target restriction of the chase)."""
+        return self.chased.restrict(self.mapping.target.names())
+
+
+def find_violations(mapping: SchemaMapping, chased: Instance) -> list[Violation]:
+    """All grounded-egd violations over the chased instance (Definition 5)."""
+    violations: list[Violation] = []
+    # Symmetric bindings of one grounded egd (swapping the roles of the two
+    # offending values) describe the same violation: dedup on unordered keys.
+    seen: set[tuple[str, frozenset[Fact], frozenset]] = set()
+    for egd in mapping.target_egds:
+        for binding in match_atoms(chased, list(egd.body)):
+            lhs_value = binding[egd.lhs]
+            rhs_value = (
+                binding[egd.rhs]
+                if isinstance(egd.rhs, Variable)
+                else egd.rhs.value
+            )
+            if lhs_value == rhs_value:
+                continue
+            if egd.constants_only and not (
+                is_constant_value(lhs_value) and is_constant_value(rhs_value)
+            ):
+                continue
+            body_facts = tuple(atom.substitute(binding) for atom in egd.body)
+            if egd.symmetric:
+                # Canonicalize the two orientations of a symmetric egd
+                # (e.g. EQ(a, b) vs EQ(b, a)) into one violation.
+                key_body = frozenset(
+                    Fact(fact.relation, tuple(sorted(fact.args, key=repr)))
+                    for fact in body_facts
+                )
+            else:
+                key_body = frozenset(body_facts)
+            key = (
+                egd.label,
+                key_body,
+                frozenset((lhs_value, rhs_value)),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            violations.append(Violation(egd, body_facts, lhs_value, rhs_value))
+    return violations
+
+
+def build_exchange_data(
+    mapping: SchemaMapping, source_instance: Instance
+) -> ExchangeData:
+    """Chase, ground, and detect violations for a ``gav+(gav, egd)`` mapping."""
+    if not mapping.is_gav_gav_egd():
+        raise ValueError(
+            "exchange data requires a gav+(gav, egd) mapping; "
+            "run reduce_mapping first"
+        )
+    tgds = list(mapping.all_tgds())
+    chased = gav_chase(source_instance, tgds)
+    groundings = list(enumerate_groundings(tgds, chased))
+    data = ExchangeData(
+        mapping=mapping,
+        source_instance=source_instance,
+        chased=chased,
+        groundings=groundings,
+        violations=find_violations(mapping, chased),
+    )
+    for index, (_rule, body_facts, head_fact) in enumerate(groundings):
+        data.supports_of.setdefault(head_fact, []).append(index)
+        for fact in set(body_facts):
+            data.occurs_in_body_of.setdefault(fact, []).append(index)
+    return data

@@ -1,0 +1,93 @@
+"""Definition 1, implemented literally: the exponential-time oracle.
+
+A *source repair* of ``I`` w.r.t. ``M`` is a ⊆-maximal sub-instance of ``I``
+that has a solution.  The XR-Certain answers are the intersection, over all
+source repairs ``I'``, of the certain answers of the query on ``I'`` — which,
+for (U)CQs and weakly acyclic mappings, are the constant answers on the
+canonical universal solution ``chase(I', M)``.
+
+Exhaustive enumeration over subsets: usable only on small instances; the
+test suite uses it as ground truth for both practical engines.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.chase.standard import standard_chase
+from repro.dependencies.mapping import SchemaMapping
+from repro.relational.instance import Fact, Instance
+from repro.relational.queries import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    evaluate_constants_only,
+)
+
+_ORACLE_LIMIT = 18
+
+
+def source_repairs(
+    instance: Instance, mapping: SchemaMapping
+) -> list[frozenset[Fact]]:
+    """All source repairs of ``instance`` w.r.t. ``mapping`` (Definition 1.1).
+
+    Exponential in the number of facts; refuses instances with more than
+    18 facts.
+    """
+    facts = sorted(instance, key=repr)
+    if len(facts) > _ORACLE_LIMIT:
+        raise ValueError(
+            f"oracle limited to {_ORACLE_LIMIT} facts, got {len(facts)}"
+        )
+
+    def consistent(subset: tuple[Fact, ...]) -> bool:
+        return not standard_chase(Instance(subset), mapping).failed
+
+    repairs: list[frozenset[Fact]] = []
+    for size in range(len(facts), -1, -1):
+        for combo in combinations(facts, size):
+            as_set = frozenset(combo)
+            if any(as_set < repair for repair in repairs):
+                continue  # strictly inside a known repair: not maximal
+            if consistent(combo):
+                repairs.append(as_set)
+    return repairs
+
+
+def xr_certain_oracle(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    instance: Instance,
+    mapping: SchemaMapping,
+) -> set[tuple]:
+    """XR-Certain answers by brute force (Definition 1.3).
+
+    For each source repair, chase to the canonical universal solution and
+    take the constant answers; intersect across repairs.
+    """
+    answers: set[tuple] | None = None
+    for repair in source_repairs(instance, mapping):
+        result = standard_chase(Instance(repair), mapping)
+        assert not result.failed, "a source repair must have a solution"
+        assert result.target is not None
+        repair_answers = evaluate_constants_only(query, result.target)
+        answers = repair_answers if answers is None else (answers & repair_answers)
+        if not answers:
+            return set()
+    return answers if answers is not None else set()
+
+
+def xr_possible_oracle(
+    query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    instance: Instance,
+    mapping: SchemaMapping,
+) -> set[tuple]:
+    """XR-Possible answers by brute force: the union, over all source
+    repairs, of the constant answers on the canonical universal solution —
+    the brave counterpart of :func:`xr_certain_oracle`."""
+    answers: set[tuple] = set()
+    for repair in source_repairs(instance, mapping):
+        result = standard_chase(Instance(repair), mapping)
+        assert not result.failed, "a source repair must have a solution"
+        assert result.target is not None
+        answers |= evaluate_constants_only(query, result.target)
+    return answers

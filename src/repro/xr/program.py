@@ -1,0 +1,433 @@
+"""Ground disjunctive programs whose stable models are the XR-solutions.
+
+Two encodings are provided.
+
+**Figure 1 (as published)** — :func:`build_figure1_program` transcribes the
+program of Theorem 2 literally: chase / deletion / remainder rules per tgd
+grounding, disjunctive deletion rules per violated ground egd, incidental
+("i") classification, and the one-of-three constraints.  During this
+reproduction we found that the literal Figure 1 program *misses* XR-solutions
+in which every violated-egd body fact is only *incidentally* deleted — e.g.
+when deleting a single shared source fact removes all facts of a violation
+at once: the ``¬Ri`` guards then withdraw the support of the very deletion
+that caused the cascade, and no stable model represents that repair (see
+``tests/test_xr/test_figure1_incompleteness.py`` for the minimal example).
+The encoding is kept for study and for the ablation benchmarks.
+
+**Repair-guess (default)** — :func:`build_repair_program` encodes
+Definition 1 directly, sized by the repair envelope:
+
+- safe source facts always remain; each *suspect* source fact ``f`` is
+  guessed ``fd ∨ fr``;
+- a "remains" chase layer derives ``gr`` for every grounding whose body
+  remains;
+- one integrity constraint per violated ground egd forbids its body to
+  remain entirely (consistency);
+- per suspect fact ``f``, a side chase of ``remains ∪ {f}`` (restricted to
+  the influence of ``f``) derives ``conflict_f`` when adding ``f`` back
+  would re-create a violation; ``⊥ ← fd, ¬conflict_f`` enforces
+  ⊆-maximality of the repair.
+
+Stable models correspond exactly to source repairs; cautious truth of the
+query atoms is XR-Certain membership.  Both builders accept the segmentary
+``focus``/``safe`` restriction of Section 6.4 (safe facts are represented by
+the value *true*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asp.syntax import AtomTable, GroundProgram, GroundRule
+from repro.relational.instance import Fact
+from repro.xr.exchange import ExchangeData, Violation
+from repro.xr.subscripts import deleted, incidental, remains
+
+WITH_FACT = "__with__"  # copy-layer relation: fact g in chase(remains ∪ {f})
+CONFLICT = "__conflict__"  # adding f back would violate an egd
+
+
+@dataclass
+class XRProgram:
+    """A ground program plus the query-answer atoms to reason about."""
+
+    program: GroundProgram
+    # Candidate answer fact -> atom id (cautious membership = XR-Certain).
+    query_atoms: dict[Fact, int] = field(default_factory=dict)
+    # Candidates accepted outright (an entirely-safe support set).
+    trivially_certain: set[Fact] = field(default_factory=set)
+
+
+def _emit_query_rules(
+    result: XRProgram,
+    emit,
+    atoms: AtomTable,
+    query_groundings,
+    available: set[Fact],
+    safe: set[Fact],
+) -> None:
+    """Shared query-rule emission: ``q ← remains(support set)``."""
+    for query_fact, body_facts in query_groundings or ():
+        if any(fact not in available for fact in body_facts):
+            continue
+        focus_body = tuple(dict.fromkeys(f for f in body_facts if f not in safe))
+        query_id = atoms.intern(query_fact)
+        result.query_atoms[query_fact] = query_id
+        if not focus_body:
+            result.trivially_certain.add(query_fact)
+            emit(GroundRule(head=(query_id,)))
+            continue
+        emit(
+            GroundRule(
+                head=(query_id,),
+                body_pos=tuple(atoms.intern(remains(f)) for f in focus_body),
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# The corrected (default) encoding.
+# ---------------------------------------------------------------------------
+
+
+def _suspect_sources(
+    data: ExchangeData, violations: list[Violation], within: set[Fact]
+) -> set[Fact]:
+    """Source facts inside ``within`` lying in a violation's support closure."""
+    source_names = data.mapping.source.names()
+    closure: set[Fact] = set()
+    frontier: list[Fact] = []
+    for violation in violations:
+        for fact in violation.body_facts:
+            if fact not in closure:
+                closure.add(fact)
+                frontier.append(fact)
+    while frontier:
+        fact = frontier.pop()
+        for index in data.supports_of.get(fact, ()):
+            for body_fact in data.groundings[index][1]:
+                if body_fact not in closure:
+                    closure.add(body_fact)
+                    frontier.append(body_fact)
+    return {
+        f for f in closure if f.relation in source_names and f in within
+    }
+
+
+def _influence_of(data: ExchangeData, fact: Fact) -> set[Fact]:
+    """Forward closure of a single fact through support sets."""
+    influenced = {fact}
+    frontier = [fact]
+    while frontier:
+        current = frontier.pop()
+        for index in data.occurs_in_body_of.get(current, ()):
+            head = data.groundings[index][2]
+            if head not in influenced:
+                influenced.add(head)
+                frontier.append(head)
+    return influenced
+
+
+def build_repair_program(
+    data: ExchangeData,
+    query_groundings: list[tuple[Fact, tuple[Fact, ...]]] | None = None,
+    focus: set[Fact] | None = None,
+    safe: set[Fact] | None = None,
+    violations: list[Violation] | None = None,
+) -> XRProgram:
+    """Build the repair-guess program (see module docstring).
+
+    ``focus``/``safe`` restrict the program for the segmentary engine:
+    only facts in ``focus`` are modelled, facts in ``safe`` are true, rules
+    touching other facts are dropped (independent clusters).
+    """
+    source_names = data.mapping.source.names()
+    if focus is None:
+        focus = set(data.chased)
+    if safe is None:
+        safe = set()
+    if violations is None:
+        violations = data.violations
+    available = focus | safe
+
+    program = GroundProgram(AtomTable())
+    atoms = program.atoms
+    seen: set[GroundRule] = set()
+
+    def emit(rule: GroundRule) -> None:
+        if rule not in seen:
+            seen.add(rule)
+            program.add_rule(rule)
+
+    suspects = _suspect_sources(data, violations, focus)
+
+    # --- source layer: guesses for suspects, units for the rest.
+    for fact in focus:
+        if fact.relation not in source_names:
+            continue
+        remains_id = atoms.intern(remains(fact))
+        if fact in suspects:
+            emit(
+                GroundRule(
+                    head=(atoms.intern(deleted(fact)), remains_id),
+                )
+            )
+        else:
+            emit(GroundRule(head=(remains_id,)))
+
+    # --- remains chase layer.
+    for _rule, body_facts, head_fact in data.groundings:
+        if head_fact in safe or head_fact not in focus:
+            continue
+        if any(fact not in available for fact in body_facts):
+            continue
+        focus_body = tuple(dict.fromkeys(f for f in body_facts if f not in safe))
+        head_id = atoms.intern(remains(head_fact))
+        if not focus_body:
+            emit(GroundRule(head=(head_id,)))
+            continue
+        emit(
+            GroundRule(
+                head=(head_id,),
+                body_pos=tuple(atoms.intern(remains(f)) for f in focus_body),
+            )
+        )
+
+    # --- consistency: no violated egd body may remain entirely.
+    relevant_violations: list[Violation] = []
+    for violation in violations:
+        body_facts = tuple(dict.fromkeys(violation.body_facts))
+        if any(fact not in available for fact in body_facts):
+            continue
+        relevant_violations.append(violation)
+        focus_body = tuple(f for f in body_facts if f not in safe)
+        if not focus_body:
+            raise ValueError(
+                f"unrepairable violation: every fact of {violation!r} is safe"
+            )
+        emit(
+            GroundRule(
+                head=(),
+                body_pos=tuple(atoms.intern(remains(f)) for f in focus_body),
+            )
+        )
+
+    # --- maximality: a deleted suspect must re-create some violation.
+    for suspect in suspects:
+        influence = _influence_of(data, suspect) & focus
+        conflict_id = atoms.intern(Fact(CONFLICT, (suspect,)))
+
+        def copy_atom(g: Fact) -> int:
+            return atoms.intern(Fact(WITH_FACT, (g, suspect)))
+
+        # The added fact itself, and everything still remaining.
+        emit(GroundRule(head=(copy_atom(suspect),)))
+        for fact in influence:
+            if fact is suspect:
+                continue
+            emit(
+                GroundRule(
+                    head=(copy_atom(fact),),
+                    body_pos=(atoms.intern(remains(fact)),),
+                )
+            )
+        # Chase within the influence of the suspect.
+        for _rule, body_facts, head_fact in data.groundings:
+            if head_fact not in influence:
+                continue
+            if any(fact not in available for fact in body_facts):
+                continue
+            body_ids = []
+            for fact in dict.fromkeys(body_facts):
+                if fact == suspect or fact in safe:
+                    continue
+                if fact in influence:
+                    body_ids.append(copy_atom(fact))
+                else:
+                    body_ids.append(atoms.intern(remains(fact)))
+            emit(GroundRule(head=(copy_atom(head_fact),), body_pos=tuple(body_ids)))
+        # Conflict detection against every relevant violation.
+        for violation in relevant_violations:
+            body_facts = tuple(dict.fromkeys(violation.body_facts))
+            if not any(fact in influence for fact in body_facts):
+                continue  # unaffected by re-adding the suspect
+            body_ids = []
+            for fact in body_facts:
+                if fact in safe:
+                    continue
+                if fact in influence:
+                    body_ids.append(copy_atom(fact))
+                else:
+                    body_ids.append(atoms.intern(remains(fact)))
+            emit(GroundRule(head=(conflict_id,), body_pos=tuple(body_ids)))
+        emit(
+            GroundRule(
+                head=(),
+                body_pos=(atoms.intern(deleted(suspect)),),
+                body_neg=(conflict_id,),
+            )
+        )
+
+    result = XRProgram(program=program)
+    _emit_query_rules(result, emit, atoms, query_groundings, available, safe)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The literal Figure 1 encoding (published variant; see module docstring).
+# ---------------------------------------------------------------------------
+
+
+def build_figure1_program(
+    data: ExchangeData,
+    query_groundings: list[tuple[Fact, tuple[Fact, ...]]] | None = None,
+    focus: set[Fact] | None = None,
+    safe: set[Fact] | None = None,
+    violations: list[Violation] | None = None,
+) -> XRProgram:
+    """Build the ground Figure 1 program of Theorem 2, literally.
+
+    Kept as a study/ablation artifact: on mappings with chained tgds it can
+    miss XR-solutions (module docstring); on single-level mappings — e.g.
+    key constraints directly over exchanged facts — it agrees with
+    :func:`build_repair_program`.
+    """
+    source_names = data.mapping.source.names()
+    all_facts = set(data.chased)
+    if focus is None:
+        focus = all_facts
+    if safe is None:
+        safe = set()
+    if violations is None:
+        violations = data.violations
+    available = focus | safe
+
+    program = GroundProgram(AtomTable())
+    atoms = program.atoms
+    seen: set[GroundRule] = set()
+
+    def emit(rule: GroundRule) -> None:
+        if rule not in seen:
+            seen.add(rule)
+            program.add_rule(rule)
+
+    def is_target(fact: Fact) -> bool:
+        return fact.relation not in source_names
+
+    # --- per-fact rules.
+    for fact in focus:
+        fact_id = atoms.intern(fact)
+        deleted_id = atoms.intern(deleted(fact))
+        remains_id = atoms.intern(remains(fact))
+        if is_target(fact):
+            incidental_id = atoms.intern(incidental(fact))
+            emit(
+                GroundRule(
+                    head=(incidental_id,),
+                    body_pos=(fact_id,),
+                    body_neg=(remains_id, deleted_id),
+                )
+            )
+            emit(GroundRule(head=(), body_pos=(remains_id, deleted_id)))
+            emit(GroundRule(head=(), body_pos=(remains_id, incidental_id)))
+            emit(GroundRule(head=(), body_pos=(deleted_id, incidental_id)))
+        else:
+            emit(GroundRule(head=(fact_id,)))
+            emit(
+                GroundRule(
+                    head=(remains_id,),
+                    body_pos=(fact_id,),
+                    body_neg=(deleted_id,),
+                )
+            )
+
+    # --- chase / deletion / remainder rules per tgd grounding.
+    for _rule, body_facts, head_fact in data.groundings:
+        if head_fact in safe or head_fact not in focus:
+            continue
+        if any(fact not in available for fact in body_facts):
+            continue
+        if head_fact in body_facts:
+            continue  # tautological grounding
+        focus_body = tuple(dict.fromkeys(f for f in body_facts if f not in safe))
+        if not focus_body:
+            emit(GroundRule(head=(atoms.intern(head_fact),)))
+            emit(GroundRule(head=(atoms.intern(remains(head_fact)),)))
+            continue
+        head_id = atoms.intern(head_fact)
+        body_ids = tuple(atoms.intern(f) for f in focus_body)
+        emit(GroundRule(head=(head_id,), body_pos=body_ids))
+        emit(
+            GroundRule(
+                head=tuple(atoms.intern(deleted(f)) for f in focus_body),
+                body_pos=(atoms.intern(deleted(head_fact)),) + body_ids,
+                body_neg=tuple(
+                    atoms.intern(incidental(f))
+                    for f in focus_body
+                    if is_target(f)
+                ),
+            )
+        )
+        emit(
+            GroundRule(
+                head=(atoms.intern(remains(head_fact)),),
+                body_pos=tuple(atoms.intern(remains(f)) for f in focus_body),
+            )
+        )
+
+    # --- egd deletion rules.
+    for violation in violations:
+        body_facts = tuple(dict.fromkeys(violation.body_facts))
+        if any(fact not in available for fact in body_facts):
+            continue
+        focus_body = tuple(f for f in body_facts if f not in safe)
+        if not focus_body:
+            raise ValueError(
+                f"unrepairable violation: every fact of {violation!r} is safe"
+            )
+        body_ids = tuple(atoms.intern(f) for f in focus_body)
+        emit(
+            GroundRule(
+                head=tuple(atoms.intern(deleted(f)) for f in focus_body),
+                body_pos=body_ids,
+                body_neg=tuple(
+                    atoms.intern(incidental(f))
+                    for f in focus_body
+                    if is_target(f)
+                ),
+            )
+        )
+
+    result = XRProgram(program=program)
+    _emit_query_rules(result, emit, atoms, query_groundings, available, safe)
+    return result
+
+
+ENCODINGS = {
+    "repair": build_repair_program,
+    "figure1": build_figure1_program,
+}
+
+
+def build_xr_program(
+    data: ExchangeData,
+    query_groundings: list[tuple[Fact, tuple[Fact, ...]]] | None = None,
+    focus: set[Fact] | None = None,
+    safe: set[Fact] | None = None,
+    violations: list[Violation] | None = None,
+    encoding: str = "repair",
+) -> XRProgram:
+    """Dispatch to the selected encoding (``"repair"`` or ``"figure1"``)."""
+    try:
+        builder = ENCODINGS[encoding]
+    except KeyError:
+        raise ValueError(
+            f"unknown encoding {encoding!r}; choose from {sorted(ENCODINGS)}"
+        ) from None
+    return builder(
+        data,
+        query_groundings=query_groundings,
+        focus=focus,
+        safe=safe,
+        violations=violations,
+    )

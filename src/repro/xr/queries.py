@@ -1,0 +1,59 @@
+"""Grounding queries into candidate answers and their support sets.
+
+Section 6.4: a UCQ is turned into new GAV tgds deriving a fresh query
+relation; the *candidate answers* (Definition 2) are its groundings over the
+canonical quasi-solution, and each grounding's body is one support set of
+the candidate fact.  Answers are restricted to constants (``q↓``).
+"""
+
+from __future__ import annotations
+
+from repro.relational.instance import Fact, Instance
+from repro.relational.queries import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    match_atoms,
+)
+from repro.relational.terms import is_constant_value
+
+QUERY_RELATION_PREFIX = "__q_"
+
+
+def query_relation_name(query_name: str) -> str:
+    return QUERY_RELATION_PREFIX + query_name
+
+
+def ground_query(
+    query: UnionOfConjunctiveQueries | ConjunctiveQuery,
+    chased: Instance,
+) -> list[tuple[Fact, tuple[Fact, ...]]]:
+    """All (candidate fact, support set) pairs of the query over ``chased``.
+
+    Only bindings whose answer values are all constants are kept — skolem
+    values stand for labelled nulls and cannot be certain answers.
+    """
+    disjuncts = (
+        [query] if isinstance(query, ConjunctiveQuery) else list(query.disjuncts)
+    )
+    relation = query_relation_name(query.name)
+    results: list[tuple[Fact, tuple[Fact, ...]]] = []
+    seen: set[tuple[Fact, tuple[Fact, ...]]] = set()
+    for disjunct in disjuncts:
+        for binding in match_atoms(chased, list(disjunct.body)):
+            answer = tuple(binding[v] for v in disjunct.head_vars)
+            if not all(is_constant_value(value) for value in answer):
+                continue
+            candidate = Fact(relation, answer)
+            support = tuple(
+                dict.fromkeys(atom.substitute(binding) for atom in disjunct.body)
+            )
+            key = (candidate, support)
+            if key not in seen:
+                seen.add(key)
+                results.append(key)
+    return results
+
+
+def answers_from_facts(facts: set[Fact] | frozenset[Fact]) -> set[tuple]:
+    """Extract the answer tuples from accepted query-relation facts."""
+    return {fact.args for fact in facts}

@@ -1,0 +1,210 @@
+"""The segmentary engine (Sections 6.4–6.5).
+
+Query answering in two phases:
+
+- the **exchange phase** (query-independent, PTIME): chase, violations,
+  support closures, safe/suspect split, violation clusters, influences —
+  everything in :mod:`repro.xr.envelope`;
+- the **query phase**: ground the (rewritten) query over the quasi-solution
+  to obtain candidate answers; accept immediately those with an all-safe
+  support set; group the rest by *signature* (the set of violation clusters
+  whose influences meet their supports); decide each group with one small
+  ground disjunctive program — the Figure 1 program restricted to the
+  group's focus, with safe facts represented by *true*.
+
+Many small hard problems instead of one large one (Theorem 4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.asp.reasoning import brave_consequences, cautious_consequences
+from repro.dependencies.mapping import SchemaMapping
+from repro.reduction.reduce import ReducedMapping, reduce_mapping
+from repro.relational.instance import Fact, Instance
+from repro.relational.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.xr.envelope import EnvelopeAnalysis, analyze_envelopes
+from repro.xr.exchange import ExchangeData, build_exchange_data
+from repro.xr.program import build_xr_program
+from repro.xr.queries import answers_from_facts, ground_query
+
+
+@dataclass
+class QueryPhaseStats:
+    """Diagnostics from the last :meth:`SegmentaryEngine.answer` call."""
+
+    candidates: int = 0
+    safe_candidates: int = 0
+    signatures: int = 0
+    programs_solved: int = 0
+    largest_program_atoms: int = 0
+    total_rules: int = 0
+
+
+@dataclass
+class ExchangePhaseStats:
+    """Diagnostics from the exchange phase."""
+
+    seconds: float = 0.0
+    source_facts: int = 0
+    chased_facts: int = 0
+    groundings: int = 0
+    violations: int = 0
+    clusters: int = 0
+    suspect_source_facts: int = 0
+    safe_source_facts: int = 0
+
+
+class SegmentaryEngine:
+    """XR-Certain query answering with an exchange phase and per-signature
+    query programs.
+
+    Accepts any ``glav+(wa-glav, egd)`` mapping (reduced internally).  Call
+    :meth:`exchange` once (or let the first :meth:`answer` trigger it), then
+    answer any number of queries against the materialized exchange state.
+    """
+
+    def __init__(
+        self,
+        mapping: SchemaMapping | ReducedMapping,
+        instance: Instance,
+        encoding: str = "repair",
+    ):
+        if isinstance(mapping, ReducedMapping):
+            self.reduced = mapping
+        else:
+            self.reduced = reduce_mapping(mapping)
+        self.instance = instance
+        self.encoding = encoding
+        self.data: ExchangeData | None = None
+        self.analysis: EnvelopeAnalysis | None = None
+        self.exchange_stats = ExchangePhaseStats()
+        self.last_query_stats = QueryPhaseStats()
+
+    # ------------------------------------------------------ exchange phase
+
+    def exchange(self) -> ExchangePhaseStats:
+        """Run the query-independent exchange phase; idempotent."""
+        if self.analysis is not None:
+            return self.exchange_stats
+        started = time.perf_counter()
+        self.data = build_exchange_data(self.reduced.gav, self.instance)
+        self.analysis = analyze_envelopes(self.data)
+        self.exchange_stats = ExchangePhaseStats(
+            seconds=time.perf_counter() - started,
+            source_facts=len(self.instance),
+            chased_facts=len(self.data.chased),
+            groundings=len(self.data.groundings),
+            violations=len(self.data.violations),
+            clusters=len(self.analysis.clusters),
+            suspect_source_facts=len(self.analysis.suspect_source),
+            safe_source_facts=len(self.analysis.safe_source),
+        )
+        return self.exchange_stats
+
+    # --------------------------------------------------------- query phase
+
+    def answer(
+        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+    ) -> set[tuple]:
+        """The XR-Certain answers to ``query`` (a set of constant tuples)."""
+        return self._answer(query, mode="certain")
+
+    def possible_answers(
+        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+    ) -> set[tuple]:
+        """The XR-Possible answers: tuples holding in *some* XR-solution.
+
+        Decided with the same per-signature decomposition: by cluster
+        independence (Definition 8), a candidate holds in some XR-solution
+        iff it holds in some combination of repairs of its signature's
+        clusters, i.e. iff its signature program answers bravely.
+        """
+        return self._answer(query, mode="possible")
+
+    def _answer(
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        mode: str,
+    ) -> set[tuple]:
+        self.exchange()
+        assert self.data is not None and self.analysis is not None
+        data, analysis = self.data, self.analysis
+        stats = QueryPhaseStats()
+
+        rewritten = self.reduced.rewrite(query)
+        groundings = ground_query(rewritten, data.chased)
+
+        # Group support sets per candidate fact.
+        supports_by_candidate: dict[Fact, list[tuple[Fact, ...]]] = {}
+        for candidate, support in groundings:
+            supports_by_candidate.setdefault(candidate, []).append(support)
+        stats.candidates = len(supports_by_candidate)
+
+        accepted: set[Fact] = set()
+        by_signature: dict[frozenset[int], list[Fact]] = {}
+        for candidate, supports in supports_by_candidate.items():
+            if any(
+                all(analysis.is_safe_fact(fact) for fact in support)
+                for support in supports
+            ):
+                accepted.add(candidate)  # an all-safe support set: certain
+                continue
+            signature = analysis.signature(
+                {fact for support in supports for fact in support}
+            )
+            if not signature:
+                raise RuntimeError(
+                    f"unsafe candidate {candidate!r} with empty signature: "
+                    "exchange-phase invariant violated"
+                )
+            by_signature.setdefault(signature, []).append(candidate)
+        stats.safe_candidates = len(accepted)
+        stats.signatures = len(by_signature)
+
+        safe_facts = set(analysis.safe_chased)
+        for signature, candidates in by_signature.items():
+            clusters = [analysis.clusters[index] for index in signature]
+            focus: set[Fact] = set()
+            violations = []
+            for cluster in clusters:
+                focus |= cluster.influence
+                violations.extend(cluster.violations)
+            focus -= safe_facts
+            query_groundings = [
+                (candidate, support)
+                for candidate in candidates
+                for support in supports_by_candidate[candidate]
+            ]
+            xr_program = build_xr_program(
+                data,
+                query_groundings=query_groundings,
+                focus=focus,
+                safe=safe_facts,
+                violations=violations,
+                encoding=self.encoding,
+            )
+            stats.programs_solved += 1
+            stats.largest_program_atoms = max(
+                stats.largest_program_atoms, xr_program.program.num_atoms
+            )
+            stats.total_rules += len(xr_program.program)
+            if not xr_program.query_atoms:
+                continue
+            reason = (
+                cautious_consequences if mode == "certain" else brave_consequences
+            )
+            decided = reason(xr_program.program, xr_program.query_atoms.values())
+            if decided is None:
+                raise RuntimeError("a signature program has no stable model")
+            accepted |= {
+                fact
+                for fact, atom_id in xr_program.query_atoms.items()
+                if atom_id in decided
+            }
+            accepted |= xr_program.trivially_certain
+
+        self.last_query_stats = stats
+        return answers_from_facts(accepted)

@@ -1,0 +1,75 @@
+"""Enumerating exchange-repair solutions.
+
+Theorem 2 establishes a bijection between the stable models of the XR
+program and the XR-solutions ``(I', J')``.  This module walks the stable
+models of the (default repair-guess) program, decodes each into the source
+repair ``I'``, and re-chases it with the *original* mapping to obtain the
+canonical universal solution ``J'`` — with genuine labelled nulls rather
+than the reduction's skolem values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.asp.stable import StableModelEngine
+from repro.chase.standard import standard_chase
+from repro.dependencies.mapping import SchemaMapping
+from repro.reduction.reduce import ReducedMapping, reduce_mapping
+from repro.relational.instance import Instance
+from repro.xr.exchange import build_exchange_data
+from repro.xr.program import build_repair_program
+from repro.xr.subscripts import remains
+
+
+@dataclass
+class XRSolution:
+    """One exchange-repair solution: a source repair and its canonical
+    universal solution."""
+
+    source_repair: Instance
+    target_solution: Instance
+    deleted: int = 0  # number of source facts removed by the repair
+
+
+def xr_solutions(
+    mapping: SchemaMapping | ReducedMapping,
+    instance: Instance,
+    limit: int | None = None,
+) -> Iterator[XRSolution]:
+    """Yield the XR-solutions of ``instance`` w.r.t. ``mapping``.
+
+    The number of solutions can be exponential in the number of violations;
+    pass ``limit`` to enumerate a prefix.
+    """
+    reduced = mapping if isinstance(mapping, ReducedMapping) else reduce_mapping(mapping)
+    data = build_exchange_data(reduced.gav, instance)
+    xr_program = build_repair_program(data)
+    engine = StableModelEngine(xr_program.program)
+    atoms = xr_program.program.atoms
+
+    for model in engine.stable_models(limit=limit):
+        kept = []
+        for fact in instance:
+            remains_id = atoms.id_of(remains(fact))
+            if remains_id is not None and remains_id in model:
+                kept.append(fact)
+        source_repair = Instance(kept)
+        chased = standard_chase(source_repair, reduced.original)
+        assert not chased.failed, "a decoded repair must have a solution"
+        assert chased.target is not None
+        yield XRSolution(
+            source_repair=source_repair,
+            target_solution=chased.target,
+            deleted=len(instance) - len(source_repair),
+        )
+
+
+def count_source_repairs(
+    mapping: SchemaMapping | ReducedMapping,
+    instance: Instance,
+    limit: int = 10_000,
+) -> int:
+    """The number of source repairs (capped at ``limit``)."""
+    return sum(1 for _ in xr_solutions(mapping, instance, limit=limit))

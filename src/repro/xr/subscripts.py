@@ -1,0 +1,43 @@
+"""Subscripted relation copies used by the Figure 1 program.
+
+The program of Theorem 2 introduces, for each relation ``R``, the copies
+``Rd`` ("deleted"), ``Rr`` ("remains"), and — for target relations — ``Ri``
+("incidentally deleted").  We realize them with name suffixes on facts.
+"""
+
+from __future__ import annotations
+
+from repro.relational.instance import Fact
+
+SUB_DELETED = "__d"
+SUB_REMAINS = "__r"
+SUB_INCIDENTAL = "__i"
+
+_ALL_SUFFIXES = (SUB_DELETED, SUB_REMAINS, SUB_INCIDENTAL)
+
+
+def deleted(fact: Fact) -> Fact:
+    """The ``Rd`` copy of a fact."""
+    return Fact(fact.relation + SUB_DELETED, fact.args)
+
+
+def remains(fact: Fact) -> Fact:
+    """The ``Rr`` copy of a fact."""
+    return Fact(fact.relation + SUB_REMAINS, fact.args)
+
+
+def incidental(fact: Fact) -> Fact:
+    """The ``Ri`` copy of a fact."""
+    return Fact(fact.relation + SUB_INCIDENTAL, fact.args)
+
+
+def base_relation(relation: str) -> str:
+    """Strip a subscript suffix, if any."""
+    for suffix in _ALL_SUFFIXES:
+        if relation.endswith(suffix):
+            return relation[: -len(suffix)]
+    return relation
+
+
+def is_subscripted(relation: str) -> bool:
+    return any(relation.endswith(suffix) for suffix in _ALL_SUFFIXES)

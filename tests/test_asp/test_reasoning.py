@@ -1,0 +1,66 @@
+"""Tests for cautious and brave reasoning."""
+
+from repro.asp.reasoning import brave_consequences, cautious_consequences
+from repro.asp.syntax import AtomTable, GroundProgram, GroundRule
+from repro.relational.instance import Fact
+
+
+def program_over(num_atoms, rules):
+    program = GroundProgram(AtomTable())
+    for index in range(num_atoms):
+        program.atoms.intern(Fact("A", (index + 1,)))
+    program.rules = list(rules)
+    return program
+
+
+class TestCautious:
+    def test_single_model(self):
+        program = program_over(2, [GroundRule((1,)), GroundRule((2,), (1,))])
+        assert cautious_consequences(program, [1, 2]) == frozenset({1, 2})
+
+    def test_disjunction_nothing_cautious(self):
+        program = program_over(2, [GroundRule((1, 2))])
+        assert cautious_consequences(program, [1, 2]) == frozenset()
+
+    def test_shared_atom_is_cautious(self):
+        # a | b.  c :- a.  c :- b.  -> c in every stable model.
+        rules = [
+            GroundRule((1, 2)),
+            GroundRule((3,), (1,)),
+            GroundRule((3,), (2,)),
+        ]
+        program = program_over(3, rules)
+        assert cautious_consequences(program, [1, 2, 3]) == frozenset({3})
+
+    def test_no_stable_models_returns_none(self):
+        program = program_over(1, [GroundRule((1,), (), (1,))])
+        assert cautious_consequences(program, [1]) is None
+
+    def test_query_atoms_scoped(self):
+        program = program_over(3, [GroundRule((1,)), GroundRule((2,))])
+        assert cautious_consequences(program, [2]) == frozenset({2})
+
+
+class TestBrave:
+    def test_disjunction_both_brave(self):
+        program = program_over(2, [GroundRule((1, 2))])
+        assert brave_consequences(program, [1, 2]) == frozenset({1, 2})
+
+    def test_underivable_atom_not_brave(self):
+        program = program_over(2, [GroundRule((1,))])
+        assert brave_consequences(program, [1, 2]) == frozenset({1})
+
+    def test_no_stable_models_returns_none(self):
+        program = program_over(1, [GroundRule((1,), (), (1,))])
+        assert brave_consequences(program, [1]) is None
+
+    def test_brave_superset_of_cautious(self):
+        rules = [
+            GroundRule((1, 2)),
+            GroundRule((3,), (1,)),
+            GroundRule((3,), (2,)),
+        ]
+        program = program_over(3, rules)
+        cautious = cautious_consequences(program, [1, 2, 3])
+        brave = brave_consequences(program_over(3, rules), [1, 2, 3])
+        assert cautious <= brave

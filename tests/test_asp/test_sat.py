@@ -1,0 +1,168 @@
+"""Tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asp.sat import SatSolver
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in c) for c in clauses):
+            return True
+    return False
+
+
+def model_satisfies(model, clauses):
+    return all(any(model[abs(l)] == (l > 0) for l in c) for c in clauses)
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert SatSolver(3).solve()
+
+    def test_unit_propagation(self):
+        solver = SatSolver(2)
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        assert solver.solve()
+        assert solver.model()[1] and solver.model()[2]
+
+    def test_trivial_unsat(self):
+        solver = SatSolver(1)
+        solver.add_clause([1])
+        assert not solver.add_clause([-1])
+        assert not solver.solve()
+
+    def test_empty_clause_is_unsat(self):
+        solver = SatSolver(1)
+        assert not solver.add_clause([])
+
+    def test_tautological_clause_ignored(self):
+        solver = SatSolver(1)
+        assert solver.add_clause([1, -1])
+        assert solver.solve()
+
+    def test_duplicate_literals_merged(self):
+        solver = SatSolver(1)
+        solver.add_clause([1, 1, 1])
+        assert solver.solve()
+        assert solver.model()[1]
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(ValueError):
+            SatSolver(1).add_clause([5])
+
+    def test_new_var(self):
+        solver = SatSolver(0)
+        v = solver.new_var()
+        assert v == 1
+        solver.add_clause([-v])
+        assert solver.solve()
+        assert not solver.model()[v]
+
+
+class TestSearch:
+    def test_pigeonhole_4_3_unsat(self):
+        pigeons, holes = 4, 3
+        solver = SatSolver(pigeons * holes)
+        var = lambda p, h: p * holes + h + 1
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        assert not solver.solve()
+
+    def test_pigeonhole_3_3_sat(self):
+        pigeons = holes = 3
+        solver = SatSolver(pigeons * holes)
+        var = lambda p, h: p * holes + h + 1
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        assert solver.solve()
+
+    def test_phase_saving_biases_model(self):
+        solver = SatSolver(3)
+        solver.add_clause([1, 2, 3])
+        for v in (1, 2, 3):
+            solver.set_default_phase(v, False)
+        assert solver.solve()
+        assert sum(solver.model()[1:]) == 1  # minimal-ish: one decision flip
+
+
+class TestIncremental:
+    def test_assumptions(self):
+        solver = SatSolver(3)
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 3])
+        assert solver.solve([-2])
+        assert solver.model()[1] and solver.model()[3]
+        assert not solver.solve([-2, -3])
+        assert solver.solve()  # assumptions do not persist
+
+    def test_add_clause_between_solves(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        assert solver.solve()
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert not solver.solve()
+
+    def test_add_clause_after_model_found(self):
+        # Clauses may be installed while the trail is still populated.
+        solver = SatSolver(3)
+        solver.add_clause([1, 2, 3])
+        assert solver.solve()
+        model = solver.model()
+        exclusion = [-v if model[v] else v for v in (1, 2, 3)]
+        solver.add_clause(exclusion)
+        count = 1
+        while solver.solve():
+            model = solver.model()
+            solver.add_clause([-v if model[v] else v for v in (1, 2, 3)])
+            count += 1
+        assert count == 7  # all assignments except all-false
+
+    def test_statistics(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        solver.solve()
+        stats = solver.statistics
+        assert stats["vars"] == 2
+        assert stats["propagations"] >= 0
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.data())
+def test_random_formulas_match_brute_force(data):
+    num_vars = data.draw(st.integers(1, 7))
+    num_clauses = data.draw(st.integers(1, 22))
+    clauses = []
+    for _ in range(num_clauses):
+        width = data.draw(st.integers(1, min(3, num_vars)))
+        variables = data.draw(
+            st.lists(
+                st.integers(1, num_vars),
+                min_size=width,
+                max_size=width,
+                unique=True,
+            )
+        )
+        clauses.append(
+            [v if data.draw(st.booleans()) else -v for v in variables]
+        )
+    solver = SatSolver(num_vars)
+    ok = all(solver.add_clause(c) for c in clauses)
+    result = ok and solver.solve()
+    assert result == brute_force_sat(num_vars, clauses)
+    if result:
+        assert model_satisfies(solver.model(), clauses)

@@ -1,0 +1,110 @@
+"""Tests for ASP rule syntax and ground program representation."""
+
+import pytest
+
+from repro.asp.syntax import (
+    AtomTable,
+    Comparison,
+    GroundProgram,
+    GroundRule,
+    Rule,
+)
+from repro.relational.instance import Fact
+from repro.relational.queries import Atom
+from repro.relational.terms import Const, SkolemValue, Variable
+
+X, Y = Variable("x"), Variable("y")
+
+
+class TestComparison:
+    def test_neq(self):
+        comparison = Comparison("neq", X, Y)
+        assert comparison.holds({X: 1, Y: 2})
+        assert not comparison.holds({X: 1, Y: 1})
+
+    def test_neq_with_constant(self):
+        comparison = Comparison("neq", X, Const("a"))
+        assert comparison.holds({X: "b"})
+        assert not comparison.holds({X: "a"})
+
+    def test_const_test(self):
+        comparison = Comparison("const", X)
+        assert comparison.holds({X: "a"})
+        assert not comparison.holds({X: SkolemValue("f", ())})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("lt", X, Y)
+
+    def test_neq_requires_two_terms(self):
+        with pytest.raises(ValueError):
+            Comparison("neq", X)
+
+
+class TestRuleSafety:
+    def test_safe_rule(self):
+        Rule([Atom("T", (X,))], body_pos=[Atom("R", (X, Y))])
+
+    def test_unsafe_head(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            Rule([Atom("T", (X,))], body_pos=[Atom("R", (Y, Y))])
+
+    def test_unsafe_negative_literal(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            Rule([], body_pos=[Atom("R", (X, X))], body_neg=[Atom("S", (Y,))])
+
+    def test_unsafe_comparison(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            Rule([], body_pos=[Atom("R", (X, X))], comparisons=[Comparison("neq", X, Y)])
+
+    def test_constraint_and_fact_classification(self):
+        constraint = Rule([], body_pos=[Atom("R", (X, X))])
+        assert constraint.is_constraint()
+        fact_rule = Rule([Atom("T", (Const("a"),))])
+        assert fact_rule.is_fact_rule()
+
+
+class TestAtomTable:
+    def test_intern_is_stable(self):
+        table = AtomTable()
+        first = table.intern(Fact("R", ("a",)))
+        second = table.intern(Fact("R", ("a",)))
+        assert first == second == 1
+        assert table.fact_of(first) == Fact("R", ("a",))
+
+    def test_ids_are_dense_from_one(self):
+        table = AtomTable()
+        table.intern(Fact("R", ("a",)))
+        table.intern(Fact("R", ("b",)))
+        assert list(table.ids()) == [1, 2]
+        assert len(table) == 2
+
+    def test_id_of_missing(self):
+        table = AtomTable()
+        assert table.id_of(Fact("R", ("zz",))) is None
+        with pytest.raises(KeyError):
+            AtomTable().fact_of(1)
+
+
+class TestGroundProgram:
+    def test_add_fact_creates_unit_rule(self):
+        program = GroundProgram()
+        atom_id = program.add_fact(Fact("R", ("a",)))
+        assert program.rules[0] == GroundRule(head=(atom_id,))
+        assert program.rules[0].is_fact()
+
+    def test_statistics(self):
+        program = GroundProgram()
+        a = program.add_fact(Fact("R", ("a",)))
+        b = program.atoms.intern(Fact("S", ("b",)))
+        program.add_rule(GroundRule(head=(a, b), body_pos=()))
+        program.add_rule(GroundRule(head=(), body_pos=(a,)))
+        stats = program.statistics()
+        assert stats["facts"] == 1
+        assert stats["disjunctive_rules"] == 1
+        assert stats["constraints"] == 1
+
+    def test_decode(self):
+        program = GroundProgram()
+        a = program.add_fact(Fact("R", ("a",)))
+        assert program.decode([a]) == {Fact("R", ("a",))}

@@ -1,0 +1,182 @@
+"""Tests for the standard chase (nulls, egd unification, failure)."""
+
+import pytest
+
+from repro.chase import canonical_universal_solution, has_solution, standard_chase
+from repro.parser import parse_mapping, parse_query
+from repro.relational import Fact, Instance, evaluate
+from repro.relational.homomorphism import is_homomorphic_to
+from repro.relational.terms import is_null_value
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+@pytest.fixture
+def copy_mapping():
+    return parse_mapping(
+        """
+        SOURCE R/2. TARGET T/2.
+        R(x, y) -> T(x, y).
+        """
+    )
+
+
+class TestTgdChase:
+    def test_copy(self, copy_mapping):
+        result = standard_chase(Instance([f("R", "a", "b")]), copy_mapping)
+        assert not result.failed
+        assert set(result.target) == {f("T", "a", "b")}
+
+    def test_existential_creates_null(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/1. TARGET T/2.
+            R(x) -> T(x, y).
+            """
+        )
+        result = standard_chase(Instance([f("R", "a")]), mapping)
+        (fact,) = result.target
+        assert fact.args[0] == "a"
+        assert is_null_value(fact.args[1])
+        assert result.nulls_created == 1
+
+    def test_standard_chase_does_not_refire_satisfied_triggers(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET T/2.
+            R(x, y) -> T(x, z).
+            """
+        )
+        # The head is satisfiable with the existing T-fact derived first.
+        result = standard_chase(
+            Instance([f("R", "a", "b"), f("R", "a", "c")]), mapping
+        )
+        assert len(result.target) == 1  # one null for both triggers
+
+    def test_target_tgds_saturate(self):
+        mapping = parse_mapping(
+            """
+            SOURCE E/2. TARGET P/2.
+            E(x, y) -> P(x, y).
+            P(x, y), P(y, z) -> P(x, z).
+            """
+        )
+        chain = Instance([f("E", 1, 2), f("E", 2, 3), f("E", 3, 4)])
+        result = standard_chase(chain, mapping)
+        assert f("P", 1, 4) in result.target
+
+    def test_universality(self):
+        # The canonical solution maps homomorphically into any solution.
+        mapping = parse_mapping(
+            """
+            SOURCE R/1. TARGET T/2, U/1.
+            R(x) -> T(x, y), U(y).
+            """
+        )
+        source = Instance([f("R", "a")])
+        canonical = canonical_universal_solution(source, mapping)
+        other_solution = Instance([f("T", "a", "w"), f("U", "w"), f("U", "z")])
+        assert is_homomorphic_to(canonical, other_solution)
+
+
+class TestEgdChase:
+    def test_null_unified_with_constant(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2, S/2. TARGET T/2.
+            R(x, y) -> T(x, z).
+            S(x, y) -> T(x, y).
+            T(x, y), T(x, z) -> y = z.
+            """
+        )
+        source = Instance([f("R", "a", "ignored"), f("S", "a", "c")])
+        result = standard_chase(source, mapping)
+        assert not result.failed
+        assert set(result.target) == {f("T", "a", "c")}
+        assert result.merges >= 1
+
+    def test_two_constants_clash(self, copy_mapping):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET T/2.
+            R(x, y) -> T(x, y).
+            T(x, y), T(x, z) -> y = z.
+            """
+        )
+        source = Instance([f("R", "a", "b"), f("R", "a", "c")])
+        result = standard_chase(source, mapping)
+        assert result.failed
+        assert "cannot equate" in result.failure
+
+    def test_null_null_unification(self):
+        mapping = parse_mapping(
+            """
+            SOURCE P/1, L/2. TARGET K/2, LL/2.
+            P(t) -> K(c, t).
+            L(t1, t2) -> LL(t1, t2).
+            LL(t1, t2), K(c1, t1), K(c2, t2) -> c1 = c2.
+            """
+        )
+        source = Instance([f("P", "t1"), f("P", "t2"), f("L", "t1", "t2")])
+        result = standard_chase(source, mapping)
+        clusters = {fact.args[0] for fact in result.target.facts_of("K")}
+        assert len(clusters) == 1  # both transcripts share one cluster null
+
+    def test_has_solution(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET T/2.
+            R(x, y) -> T(x, y).
+            T(x, y), T(x, z) -> y = z.
+            """
+        )
+        assert has_solution(Instance([f("R", "a", "b")]), mapping)
+        assert not has_solution(
+            Instance([f("R", "a", "b"), f("R", "a", "c")]), mapping
+        )
+
+    def test_canonical_universal_solution_raises_on_failure(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET T/2.
+            R(x, y) -> T(x, y).
+            T(x, y), T(x, z) -> y = z.
+            """
+        )
+        with pytest.raises(ValueError, match="no solution"):
+            canonical_universal_solution(
+                Instance([f("R", "a", "b"), f("R", "a", "c")]), mapping
+            )
+
+
+class TestMonotonicity:
+    def test_tgd_only_chase_is_monotone(self):
+        mapping = parse_mapping(
+            """
+            SOURCE E/2. TARGET P/2.
+            E(x, y) -> P(x, y).
+            P(x, y), P(y, z) -> P(x, z).
+            """
+        )
+        small = Instance([f("E", 1, 2)])
+        large = Instance([f("E", 1, 2), f("E", 2, 3)])
+        small_chased = standard_chase(small, mapping).target
+        large_chased = standard_chase(large, mapping).target
+        assert small_chased.issubset(large_chased)
+
+    def test_certain_answers_via_universal_solution(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/1. TARGET T/2.
+            R(x) -> T(x, y).
+            """
+        )
+        solution = canonical_universal_solution(Instance([f("R", "a")]), mapping)
+        query = parse_query("q(x) :- T(x, y).")
+        from repro.relational import evaluate_constants_only
+
+        assert evaluate_constants_only(query, solution) == {("a",)}
+        query2 = parse_query("q(x, y) :- T(x, y).")
+        assert evaluate_constants_only(query2, solution) == set()

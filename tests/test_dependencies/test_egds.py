@@ -1,0 +1,46 @@
+"""Tests for equality-generating dependencies."""
+
+import pytest
+
+from repro.dependencies.egds import EGD
+from repro.relational.queries import Atom
+from repro.relational.terms import Const, Variable
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestEGD:
+    def test_basic_key_constraint(self):
+        egd = EGD([Atom("T", (X, Y)), Atom("T", (X, Z))], Y, Z)
+        assert egd.body_relations() == {"T"}
+        assert egd.variables() == {X, Y, Z}
+
+    def test_rhs_may_be_constant(self):
+        egd = EGD([Atom("T", (X, Y))], Y, Const("fixed"))
+        assert egd.rhs == Const("fixed")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            EGD([], X, Y)
+
+    def test_lhs_must_be_variable(self):
+        with pytest.raises(ValueError):
+            EGD([Atom("T", (X,))], Const("a"), X)  # type: ignore[arg-type]
+
+    def test_lhs_must_occur_in_body(self):
+        with pytest.raises(ValueError):
+            EGD([Atom("T", (X,))], Y, X)
+
+    def test_rhs_variable_must_occur_in_body(self):
+        with pytest.raises(ValueError):
+            EGD([Atom("T", (X,))], X, Y)
+
+    def test_constants_only_flag_in_equality(self):
+        plain = EGD([Atom("T", (X, Y))], X, Y)
+        strict = EGD([Atom("T", (X, Y))], X, Y, constants_only=True)
+        assert plain != strict
+
+    def test_equality_ignores_labels(self):
+        first = EGD([Atom("T", (X, Y))], X, Y, label="a")
+        second = EGD([Atom("T", (X, Y))], X, Y, label="b")
+        assert first == second

@@ -1,0 +1,113 @@
+"""Tests for schema mappings."""
+
+import pytest
+
+from repro.dependencies import SchemaMapping
+from repro.parser import parse_dependency, parse_mapping
+from repro.relational.schema import RelationSymbol, Schema
+
+
+def schemas():
+    source = Schema([RelationSymbol("R", 2)])
+    target = Schema([RelationSymbol("T", 2), RelationSymbol("U", 1)])
+    return source, target
+
+
+class TestValidation:
+    def test_overlapping_schemas_rejected(self):
+        shared = Schema([RelationSymbol("R", 2)])
+        with pytest.raises(ValueError, match="share"):
+            SchemaMapping(shared, shared, [])
+
+    def test_st_tgd_must_go_source_to_target(self):
+        source, target = schemas()
+        bad = parse_dependency("T(x, y) -> T(x, y).")
+        with pytest.raises(ValueError):
+            SchemaMapping(source, target, [bad])
+
+    def test_target_tgd_must_stay_in_target(self):
+        source, target = schemas()
+        bad = parse_dependency("R(x, y) -> T(x, y).")
+        with pytest.raises(ValueError):
+            SchemaMapping(source, target, [], [bad])
+
+    def test_egd_over_source_rejected(self):
+        source, target = schemas()
+        bad = parse_dependency("R(x, y), R(x, z) -> y = z.")
+        with pytest.raises(ValueError):
+            SchemaMapping(source, target, [], [], [bad])
+
+    def test_arity_mismatch_rejected(self):
+        source, target = schemas()
+        bad = parse_dependency("R(x, y, z) -> T(x, y).")
+        with pytest.raises(ValueError, match="arity"):
+            SchemaMapping(source, target, [bad])
+
+
+class TestClassification:
+    def test_gav_gav_egd(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET T/2.
+            R(x, y) -> T(x, y).
+            T(x, y), T(x, z) -> y = z.
+            """
+        )
+        assert mapping.is_gav_gav_egd()
+        assert mapping.has_target_constraints()
+
+    def test_existential_breaks_gav(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/1. TARGET T/2.
+            R(x) -> T(x, y).
+            """
+        )
+        assert not mapping.is_gav_gav_egd()
+
+    def test_weak_acyclicity_delegates(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET T/2.
+            R(x, y) -> T(x, y).
+            T(x, y) -> T(y, z).
+            """
+        )
+        assert not mapping.is_weakly_acyclic()
+
+
+class TestUtilities:
+    def test_drop_egds(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET T/2.
+            R(x, y) -> T(x, y).
+            T(x, y), T(x, z) -> y = z.
+            """
+        )
+        assert mapping.drop_egds().target_egds == ()
+        assert mapping.target_egds  # original untouched
+
+    def test_with_extra_target_tgds_extends_schema(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET T/2.
+            R(x, y) -> T(x, y).
+            """
+        )
+        extra = parse_dependency("T(x, y) -> Q(x).")
+        extended = mapping.with_extra_target_tgds([extra])
+        assert "Q" in extended.target
+        assert len(extended.target_tgds) == 1
+
+    def test_stats(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET T/2.
+            R(x, y) -> T(x, y).
+            T(x, y), T(x, z) -> y = z.
+            """
+        )
+        stats = mapping.stats()
+        assert stats["st_tgds"] == 1
+        assert stats["target_egds"] == 1

@@ -1,0 +1,77 @@
+"""Tests for tuple-generating dependencies."""
+
+import pytest
+
+from repro.dependencies.tgds import TGD, SkolemTerm
+from repro.relational.queries import Atom
+from repro.relational.terms import Const, SkolemValue, Variable
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestTGDConstruction:
+    def test_frontier_and_existential(self):
+        tgd = TGD([Atom("R", (X, Y))], [Atom("T", (X, Z))])
+        assert tgd.frontier == {X}
+        assert tgd.existential == {Z}
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            TGD([], [Atom("T", (Const("a"),))])
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(ValueError):
+            TGD([Atom("R", (X,))], [])
+
+    def test_labels_are_unique_by_default(self):
+        first = TGD([Atom("R", (X,))], [Atom("T", (X,))])
+        second = TGD([Atom("R", (X,))], [Atom("T", (X,))])
+        assert first.label != second.label
+        assert first == second  # equality ignores labels
+
+    def test_skolem_args_must_be_body_variables(self):
+        term = SkolemTerm("f", [Z])
+        with pytest.raises(ValueError, match="not a body variable"):
+            TGD([Atom("R", (X,))], [Atom("T", (X, term))])
+
+
+class TestClassification:
+    def test_gav(self):
+        gav = TGD([Atom("R", (X, Y))], [Atom("T", (X,))])
+        assert gav.is_gav() and gav.is_full()
+
+    def test_existential_is_not_gav(self):
+        tgd = TGD([Atom("R", (X,))], [Atom("T", (X, Z))])
+        assert not tgd.is_gav() and not tgd.is_full()
+
+    def test_multi_head_is_not_gav(self):
+        tgd = TGD([Atom("R", (X,))], [Atom("T", (X,)), Atom("U", (X,))])
+        assert not tgd.is_gav()
+
+    def test_lav(self):
+        lav = TGD([Atom("R", (X, Y))], [Atom("T", (X,)), Atom("U", (Y,))])
+        assert lav.is_lav()
+        not_lav = TGD([Atom("R", (X,)), Atom("S", (X,))], [Atom("T", (X,))])
+        assert not not_lav.is_lav()
+
+    def test_skolem_head_counts_as_gav(self):
+        term = SkolemTerm("f", [X])
+        tgd = TGD([Atom("R", (X,))], [Atom("T", (X, term))])
+        assert tgd.is_gav()
+        assert tgd.has_skolem_terms()
+
+
+class TestSkolemTerm:
+    def test_ground(self):
+        term = SkolemTerm("f", [X, Const("k")])
+        value = term.ground({X: "v"})
+        assert value == SkolemValue("f", ("v", "k"))
+
+    def test_relations_helpers(self):
+        tgd = TGD(
+            [Atom("R", (X,)), Atom("S", (X,))],
+            [Atom("T", (X,)), Atom("U", (X,))],
+        )
+        assert tgd.body_relations() == {"R", "S"}
+        assert tgd.head_relations() == {"T", "U"}
+        assert tgd.variables() == {X}

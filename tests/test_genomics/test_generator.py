@@ -1,0 +1,94 @@
+"""Tests for the synthetic Genome Browser data generator."""
+
+from repro.genomics.generator import GenomeDataGenerator, GeneratorConfig
+from repro.genomics.instances import INSTANCE_PROFILES, build_instance
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        config = GeneratorConfig(transcripts=20, suspect_fraction=0.1, seed=5)
+        first = GenomeDataGenerator(config).generate()
+        second = GenomeDataGenerator(config).generate()
+        assert set(first.instance) == set(second.instance)
+
+    def test_different_seeds_differ(self):
+        a = GenomeDataGenerator(
+            GeneratorConfig(transcripts=20, suspect_fraction=0.1, seed=1)
+        ).generate()
+        b = GenomeDataGenerator(
+            GeneratorConfig(transcripts=20, suspect_fraction=0.1, seed=2)
+        ).generate()
+        assert set(a.instance) != set(b.instance)
+
+    def test_tuple_counts(self):
+        gen = GenomeDataGenerator(
+            GeneratorConfig(transcripts=30, suspect_fraction=0.0, isoforms_per_gene=3)
+        ).generate()
+        counts = gen.tuples_per_relation()
+        assert counts["ComputedAlignments"] == 30
+        assert counts["ComputedCrossref"] == 30
+        assert counts["RefSeqTranscript"] == 30
+        assert counts["UniProt"] == 30
+        assert counts["EntrezGene"] == 10  # one per gene
+
+    def test_conflict_budget_respected(self):
+        gen = GenomeDataGenerator(
+            GeneratorConfig(transcripts=40, suspect_fraction=0.2, seed=3)
+        ).generate()
+        assert len(gen.conflicted_transcripts) == 8
+        assert len(gen.exon_conflicts) + len(gen.symbol_conflicts) == 8
+
+    def test_zero_conflicts(self):
+        gen = GenomeDataGenerator(
+            GeneratorConfig(transcripts=25, suspect_fraction=0.0)
+        ).generate()
+        assert not gen.conflicted_transcripts
+
+    def test_conflicts_actually_violate(self):
+        """Injected conflicts produce exactly the intended egd violations."""
+        from repro.genomics.schema import genome_mapping
+        from repro.reduction import reduce_mapping
+        from repro.xr.exchange import build_exchange_data
+
+        gen = GenomeDataGenerator(
+            GeneratorConfig(transcripts=12, suspect_fraction=0.25, seed=2)
+        ).generate()
+        reduced = reduce_mapping(genome_mapping())
+        data = build_exchange_data(reduced.gav, gen.instance)
+        assert len(gen.conflicted_transcripts) == 3
+        assert len(data.violations) == len(gen.conflicted_transcripts)
+
+    def test_clean_instance_has_no_violations(self):
+        from repro.genomics.schema import genome_mapping
+        from repro.reduction import reduce_mapping
+        from repro.xr.exchange import build_exchange_data
+
+        gen = GenomeDataGenerator(
+            GeneratorConfig(transcripts=12, suspect_fraction=0.0, seed=2)
+        ).generate()
+        reduced = reduce_mapping(genome_mapping())
+        data = build_exchange_data(reduced.gav, gen.instance)
+        assert data.violations == []
+
+
+class TestProfiles:
+    def test_profiles_exist(self):
+        for name in ("L0", "L3", "L9", "L20", "S3", "M3", "F3"):
+            assert name in INSTANCE_PROFILES
+
+    def test_suspect_sweep_rates(self):
+        assert INSTANCE_PROFILES["L0"].suspect_fraction == 0.0
+        assert INSTANCE_PROFILES["L20"].suspect_fraction == 0.20
+        sizes = {INSTANCE_PROFILES[n].transcripts for n in ("L0", "L3", "L9", "L20")}
+        assert len(sizes) == 1  # same size across the sweep
+
+    def test_size_sweep_monotone(self):
+        sizes = [
+            INSTANCE_PROFILES[n].transcripts for n in ("S3", "M3", "L3", "F3")
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_build_instance_by_name(self):
+        generated = build_instance("S3")
+        assert len(generated.transcripts) == INSTANCE_PROFILES["S3"].transcripts

@@ -1,0 +1,55 @@
+"""Tests for the Genome Browser schemas and mapping."""
+
+from repro.genomics.schema import genome_mapping, source_schema, target_schema
+
+
+class TestSchemas:
+    def test_source_matches_table1_shape(self):
+        """Table 1: UCSC 2 relations/13 attrs, RefSeq 5/38, Entrez 1/3,
+        UniProt 1/3."""
+        schema = source_schema()
+        ucsc = ["ComputedAlignments", "ComputedCrossref"]
+        refseq = [r.name for r in schema if r.name.startswith("RefSeq")]
+        assert len(refseq) == 5
+        assert sum(schema.arity(n) for n in ucsc) == 13
+        assert sum(schema.arity(n) for n in refseq) == 38
+        assert schema.arity("EntrezGene") == 3
+        assert schema.arity("UniProt") == 3
+
+    def test_target_arities_match_query_suite(self):
+        schema = target_schema()
+        assert schema.arity("knownGene") == 12
+        assert schema.arity("kgXref") == 10
+        assert schema.arity("refLink") == 8
+        assert schema.arity("knownIsoforms") == 2
+        assert schema.arity("knownToLocusLink") == 2
+
+
+class TestMapping:
+    def test_is_weakly_acyclic(self):
+        assert genome_mapping().is_weakly_acyclic()
+
+    def test_is_glav_not_gav(self):
+        mapping = genome_mapping()
+        assert not mapping.is_gav_gav_egd()  # existentials present
+
+    def test_constraint_counts(self):
+        stats = genome_mapping().stats()
+        assert stats["st_tgds"] == 7
+        assert stats["target_tgds"] == 1  # the isoforms clustering tgd
+        assert stats["target_egds"] == 31
+
+    def test_isoforms_tgd_is_existential_target_tgd(self):
+        mapping = genome_mapping()
+        (isoforms,) = mapping.target_tgds
+        assert isoforms.existential  # invents the cluster id
+
+    def test_reducible(self):
+        from repro.reduction import reduce_mapping
+
+        reduced = reduce_mapping(genome_mapping())
+        assert not reduced.is_identity
+        assert reduced.gav.is_gav_gav_egd()
+        stats = reduced.stats()
+        assert stats["tgds_after"] > stats["tgds_before"]
+        assert stats["egds_after"] == 1

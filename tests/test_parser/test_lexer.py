@@ -1,0 +1,49 @@
+"""Tests for the tokenizer."""
+
+import pytest
+
+from repro.parser.lexer import LexError, Token, tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+class TestTokenize:
+    def test_atom(self):
+        assert kinds("R(x, y)") == [
+            "IDENT", "LPAREN", "IDENT", "COMMA", "IDENT", "RPAREN", "EOF",
+        ]
+
+    def test_arrow_and_implied_by(self):
+        assert kinds("-> :-") == ["ARROW", "IMPLIEDBY", "EOF"]
+
+    def test_equality_operators(self):
+        assert kinds("= !=") == ["EQ", "NEQ", "EOF"]
+
+    def test_numbers(self):
+        tokens = list(tokenize("42 -7 3.5"))
+        assert [t.kind for t in tokens[:-1]] == ["NUMBER"] * 3
+        assert [t.text for t in tokens[:-1]] == ["42", "-7", "3.5"]
+
+    def test_strings_single_and_double(self):
+        tokens = list(tokenize("'abc' \"de f\""))
+        assert [t.kind for t in tokens[:-1]] == ["STRING", "STRING"]
+
+    def test_comments_skipped(self):
+        assert kinds("R(x) % trailing\n# full line\nS(y)") == [
+            "IDENT", "LPAREN", "IDENT", "RPAREN",
+            "IDENT", "LPAREN", "IDENT", "RPAREN", "EOF",
+        ]
+
+    def test_line_tracking(self):
+        tokens = list(tokenize("a\nb"))
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="line 1"):
+            list(tokenize("R(x) @"))
+
+    def test_empty_input_yields_eof(self):
+        assert kinds("") == ["EOF"]

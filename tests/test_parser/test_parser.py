@@ -1,0 +1,142 @@
+"""Tests for the dependency/query/mapping parser."""
+
+import pytest
+
+from repro.dependencies import EGD, TGD
+from repro.parser import (
+    ParseError,
+    parse_dependency,
+    parse_mapping,
+    parse_program,
+    parse_query,
+)
+from repro.relational.terms import Const, Variable
+
+
+class TestParseDependency:
+    def test_tgd(self):
+        dep = parse_dependency("R(x, y), S(y) -> T(x, z).")
+        assert isinstance(dep, TGD)
+        assert dep.existential == {Variable("z")}
+        assert len(dep.body) == 2
+
+    def test_egd(self):
+        dep = parse_dependency("T(x, y), T(x, z) -> y = z.")
+        assert isinstance(dep, EGD)
+        assert dep.lhs == Variable("y")
+        assert dep.rhs == Variable("z")
+
+    def test_egd_with_constant_rhs(self):
+        dep = parse_dependency("T(x, y) -> y = 'fixed'.")
+        assert isinstance(dep, EGD)
+        assert dep.rhs == Const("fixed")
+
+    def test_constants_in_atoms(self):
+        dep = parse_dependency("R('lit', 42, x) -> T(x).")
+        assert isinstance(dep, TGD)
+        assert dep.body[0].terms[0] == Const("lit")
+        assert dep.body[0].terms[1] == Const(42)
+
+    def test_multi_head(self):
+        dep = parse_dependency("R(x) -> T(x), U(x).")
+        assert isinstance(dep, TGD)
+        assert len(dep.head) == 2
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dependency("R(x) -> T(x)")
+
+    def test_label_passthrough(self):
+        dep = parse_dependency("R(x) -> T(x).", label="mylabel")
+        assert dep.label == "mylabel"
+
+
+class TestParseQuery:
+    def test_basic(self):
+        query = parse_query("q(x) :- T(x, y).")
+        assert query.name == "q"
+        assert query.head_vars == (Variable("x"),)
+
+    def test_boolean(self):
+        query = parse_query("q() :- T(x, y).")
+        assert query.is_boolean()
+
+    def test_anonymous_variables_are_fresh(self):
+        query = parse_query("q(x) :- T(x, _), T(x, _).")
+        anon = [
+            t
+            for atom in query.body
+            for t in atom.terms
+            if isinstance(t, Variable) and t.name.startswith("_anon")
+        ]
+        assert len(anon) == 2
+        assert anon[0] != anon[1]
+
+    def test_constant_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("q('k') :- T(x, y).")
+
+    def test_trailing_period_optional(self):
+        assert parse_query("q(x) :- T(x, y)") is not None
+
+
+class TestParseProgram:
+    def test_ucq(self):
+        ucq = parse_program("q(x) :- T(x, y). q(x) :- U(x).")
+        assert len(ucq.disjuncts) == 2
+
+    def test_mismatched_names_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("q(x) :- T(x, y). p(x) :- U(x).")
+
+
+class TestParseMapping:
+    def test_full_mapping(self):
+        mapping = parse_mapping(
+            """
+            % a comment
+            SOURCE R/2, S/1.
+            TARGET T/2, U/1.
+            R(x, y) -> T(x, y).
+            S(x) -> U(x).
+            T(x, y) -> U(x).
+            T(x, y), T(x, z) -> y = z.
+            """
+        )
+        assert len(mapping.st_tgds) == 2
+        assert len(mapping.target_tgds) == 1
+        assert len(mapping.target_egds) == 1
+        assert mapping.source.names() == {"R", "S"}
+
+    def test_missing_declarations_rejected(self):
+        with pytest.raises(ParseError, match="SOURCE/TARGET"):
+            parse_mapping("R(x) -> T(x).")
+        with pytest.raises(ParseError, match="SOURCE and TARGET"):
+            parse_mapping("% nothing but a comment")
+
+    def test_mixed_body_rejected(self):
+        with pytest.raises(ParseError, match="neither"):
+            parse_mapping(
+                """
+                SOURCE R/1. TARGET T/1.
+                R(x), T(x) -> T(x).
+                """
+            )
+
+    def test_roundtrip_through_engines(self):
+        # The parsed mapping is directly usable.
+        from repro.relational import Fact, Instance
+        from repro.xr import MonolithicEngine
+
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET T/2.
+            R(x, y) -> T(x, y).
+            T(x, y), T(x, z) -> y = z.
+            """
+        )
+        engine = MonolithicEngine(
+            mapping, Instance([Fact("R", ("a", "b")), Fact("R", ("a", "c"))])
+        )
+        answers = engine.answer(parse_query("q(x) :- T(x, y)."))
+        assert answers == {("a",)}

@@ -1,0 +1,71 @@
+"""Tests for query rewriting over the reduced schema."""
+
+import pytest
+
+from repro.parser import parse_mapping, parse_query
+from repro.reduction import reduce_mapping
+from repro.reduction.rewrite import rewrite_query
+from repro.reduction.singularize import EQ_RELATION
+from repro.relational.queries import UnionOfConjunctiveQueries
+from repro.relational.terms import Variable
+
+
+@pytest.fixture
+def reduced():
+    return reduce_mapping(
+        parse_mapping(
+            """
+            SOURCE R/1. TARGET T/2.
+            R(x) -> T(x, y).
+            T(x, y), T(x, z) -> y = z.
+            """
+        )
+    )
+
+
+class TestRewrite:
+    def test_returns_ucq(self, reduced):
+        rewritten = reduced.rewrite(parse_query("q(x) :- T(x, y)."))
+        assert isinstance(rewritten, UnionOfConjunctiveQueries)
+        assert len(rewritten.disjuncts) == 1
+
+    def test_safe_head_var_kept(self, reduced):
+        rewritten = reduced.rewrite(parse_query("q(x) :- T(x, y)."))
+        (disjunct,) = rewritten.disjuncts
+        assert disjunct.head_vars == (Variable("x"),)
+
+    def test_nullable_head_var_answers_through_eq(self, reduced):
+        rewritten = reduced.rewrite(parse_query("q(y) :- T(x, y)."))
+        (disjunct,) = rewritten.disjuncts
+        (head_var,) = disjunct.head_vars
+        assert head_var != Variable("y")
+        assert any(
+            atom.relation == EQ_RELATION and Variable("y") in atom.terms
+            for atom in disjunct.body
+        )
+
+    def test_eq_in_query_rejected(self, reduced):
+        query = parse_query(f"q(x) :- {EQ_RELATION}(x, y).")
+        with pytest.raises(ValueError, match="reserved"):
+            rewrite_query(query, reduced.nullable)
+
+    def test_identity_rewriter_wraps_cq(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET T/2.
+            R(x, y) -> T(x, y).
+            """
+        )
+        reduced = reduce_mapping(mapping)
+        assert reduced.is_identity
+        query = parse_query("q(x) :- T(x, y).")
+        rewritten = reduced.rewrite(query)
+        assert isinstance(rewritten, UnionOfConjunctiveQueries)
+        assert rewritten.disjuncts[0] is query
+
+    def test_ucq_rewritten_disjunctwise(self, reduced):
+        from repro.parser import parse_program
+
+        ucq = parse_program("q(x) :- T(x, y). q(x) :- T(y, x).")
+        rewritten = reduced.rewrite(ucq)
+        assert len(rewritten.disjuncts) == 2

@@ -1,0 +1,95 @@
+"""Tests for selective singularization and nullability analysis."""
+
+from repro.dependencies.tgds import TGD, SkolemTerm
+from repro.reduction.singularize import (
+    EQ_RELATION,
+    nullable_positions,
+    singularize_atoms,
+)
+from repro.relational.queries import Atom
+from repro.relational.terms import Const, Variable
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestNullablePositions:
+    def test_skolem_head_position_nullable(self):
+        rule = TGD([Atom("R", (X,))], [Atom("T", (X, SkolemTerm("f", [X])))])
+        nullable = nullable_positions([rule])
+        assert nullable == {("T", 1)}
+
+    def test_propagation_through_rules(self):
+        rules = [
+            TGD([Atom("R", (X,))], [Atom("T", (X, SkolemTerm("f", [X])))]),
+            TGD([Atom("T", (X, Y))], [Atom("U", (Y,))]),
+        ]
+        assert ("U", 0) in nullable_positions(rules)
+
+    def test_no_skolems_nothing_nullable(self):
+        rules = [TGD([Atom("R", (X, Y))], [Atom("T", (Y, X))])]
+        assert nullable_positions(rules) == set()
+
+    def test_fixpoint_through_eq(self):
+        rules = [
+            TGD([Atom("R", (X,))], [Atom("T", (X, SkolemTerm("f", [X])))]),
+            TGD([Atom("T", (X, Y))], [Atom(EQ_RELATION, (Y, X))]),
+            TGD([Atom(EQ_RELATION, (X, Y))], [Atom(EQ_RELATION, (Y, X))]),
+        ]
+        nullable = nullable_positions(rules)
+        assert (EQ_RELATION, 0) in nullable
+        assert (EQ_RELATION, 1) in nullable
+
+
+class TestSingularizeAtoms:
+    def test_constant_join_left_syntactic(self):
+        atoms = [Atom("T", (X, Y)), Atom("U", (X, Z))]
+        new_atoms, eq_atoms, anchors = singularize_atoms(atoms, set())
+        assert new_atoms == atoms
+        assert eq_atoms == []
+        assert anchors == {X: False, Y: False, Z: False}
+
+    def test_nullable_join_mediated(self):
+        nullable = {("T", 1), ("U", 0)}
+        atoms = [Atom("T", (X, Y)), Atom("U", (Y, Z))]
+        new_atoms, eq_atoms, anchors = singularize_atoms(atoms, nullable)
+        assert len(eq_atoms) == 1
+        assert eq_atoms[0].relation == EQ_RELATION
+        # Y occurs at two nullable positions: one is replaced.
+        replaced = [t for atom in new_atoms for t in atom.terms]
+        assert Y in replaced
+        assert anchors[Y] is True
+
+    def test_anchor_prefers_non_nullable_position(self):
+        nullable = {("T", 1)}
+        atoms = [Atom("T", (X, Y)), Atom("U", (Y, Z))]
+        new_atoms, eq_atoms, anchors = singularize_atoms(atoms, nullable)
+        # Y's anchor is the non-nullable U position: binding stays constant.
+        assert anchors[Y] is False
+        assert new_atoms[1].terms[0] == Y
+        assert new_atoms[0].terms[1] != Y  # nullable occurrence mediated
+
+    def test_constant_at_nullable_position_pinned(self):
+        nullable = {("T", 0)}
+        atoms = [Atom("T", (Const("k"), X))]
+        new_atoms, eq_atoms, _ = singularize_atoms(atoms, nullable)
+        assert isinstance(new_atoms[0].terms[0], Variable)
+        assert eq_atoms[0].terms[1] == Const("k")
+
+    def test_constant_at_safe_position_untouched(self):
+        atoms = [Atom("T", (Const("k"), X))]
+        new_atoms, eq_atoms, _ = singularize_atoms(atoms, set())
+        assert new_atoms == atoms and eq_atoms == []
+
+    def test_repeated_variable_in_one_atom(self):
+        nullable = {("T", 0), ("T", 1)}
+        atoms = [Atom("T", (X, X))]
+        new_atoms, eq_atoms, _ = singularize_atoms(atoms, nullable)
+        terms = new_atoms[0].terms
+        assert terms[0] != terms[1]
+        assert len(eq_atoms) == 1
+
+    def test_fresh_variables_are_fresh_across_calls(self):
+        nullable = {("T", 0), ("T", 1)}
+        _, eq1, _ = singularize_atoms([Atom("T", (X, X))], nullable)
+        _, eq2, _ = singularize_atoms([Atom("T", (X, X))], nullable)
+        assert eq1[0].terms[1] != eq2[0].terms[1]

@@ -1,0 +1,62 @@
+"""Tests for homomorphisms between instances."""
+
+from repro.relational.homomorphism import find_homomorphism, is_homomorphic_to
+from repro.relational.instance import Fact, Instance
+from repro.relational.terms import Null
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+class TestHomomorphism:
+    def test_identity(self):
+        inst = Instance([f("R", "a", "b")])
+        assert is_homomorphic_to(inst, inst)
+
+    def test_null_maps_to_constant(self):
+        source = Instance([f("R", "a", Null(1))])
+        target = Instance([f("R", "a", "b")])
+        mapping = find_homomorphism(source, target)
+        assert mapping is not None
+        assert mapping[Null(1)] == "b"
+
+    def test_constant_cannot_be_renamed(self):
+        source = Instance([f("R", "a")])
+        target = Instance([f("R", "b")])
+        assert not is_homomorphic_to(source, target)
+
+    def test_two_nulls_may_collapse(self):
+        source = Instance([f("R", Null(1)), f("R", Null(2))])
+        target = Instance([f("R", "a")])
+        assert is_homomorphic_to(source, target)
+
+    def test_consistent_mapping_required_across_facts(self):
+        n = Null(1)
+        source = Instance([f("R", n, "x"), f("S", n, "y")])
+        target = Instance([f("R", "a", "x"), f("S", "b", "y")])
+        assert not is_homomorphic_to(source, target)
+        target.add(f("S", "a", "y"))
+        assert is_homomorphic_to(source, target)
+
+    def test_empty_source_is_homomorphic_anywhere(self):
+        assert is_homomorphic_to(Instance(), Instance())
+
+    def test_missing_relation(self):
+        source = Instance([f("R", Null(1))])
+        assert not is_homomorphic_to(source, Instance([f("S", "a")]))
+
+    def test_backtracking_required(self):
+        # The greedy first choice for n1 must be revised.
+        n1, n2 = Null(1), Null(2)
+        source = Instance([f("E", n1, n2), f("E", n2, n1)])
+        target = Instance([f("E", "a", "b"), f("E", "b", "a"), f("E", "a", "c")])
+        mapping = find_homomorphism(source, target)
+        assert mapping is not None
+        assert {mapping[n1], mapping[n2]} == {"a", "b"}
+
+    def test_identity_on_constants_in_result(self):
+        source = Instance([f("R", "a", Null(1))])
+        target = Instance([f("R", "a", "b")])
+        mapping = find_homomorphism(source, target)
+        assert mapping["a"] == "a"

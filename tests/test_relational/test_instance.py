@@ -1,0 +1,132 @@
+"""Tests for facts and instances."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.instance import Fact, Instance
+from repro.relational.terms import Null
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+class TestFact:
+    def test_equality(self):
+        assert f("R", "a", "b") == f("R", "a", "b")
+        assert f("R", "a", "b") != f("R", "b", "a")
+        assert f("R", "a") != f("S", "a")
+
+    def test_arity(self):
+        assert f("R", "a", "b").arity == 2
+        assert f("R").arity == 0
+
+    def test_has_nulls(self):
+        assert f("R", Null(1)).has_nulls()
+        assert not f("R", "a").has_nulls()
+
+
+class TestInstanceBasics:
+    def test_add_and_contains(self):
+        inst = Instance()
+        assert inst.add(f("R", "a"))
+        assert not inst.add(f("R", "a"))  # duplicate
+        assert f("R", "a") in inst
+        assert f("R", "b") not in inst
+        assert len(inst) == 1
+
+    def test_discard(self):
+        inst = Instance([f("R", "a"), f("R", "b")])
+        assert inst.discard(f("R", "a"))
+        assert not inst.discard(f("R", "a"))
+        assert len(inst) == 1
+        assert f("R", "a") not in inst
+
+    def test_iteration_covers_all_relations(self):
+        facts = {f("R", "a"), f("S", "b", "c")}
+        assert set(Instance(facts)) == facts
+
+    def test_bool(self):
+        assert not Instance()
+        assert Instance([f("R", "a")])
+
+    def test_facts_of(self):
+        inst = Instance([f("R", "a"), f("S", "b")])
+        assert inst.facts_of("R") == {f("R", "a")}
+        assert inst.facts_of("missing") == set()
+
+    def test_relations(self):
+        inst = Instance([f("R", "a"), f("S", "b")])
+        assert inst.relations() == {"R", "S"}
+
+    def test_active_domain(self):
+        inst = Instance([f("R", "a", "b"), f("S", "b", 3)])
+        assert inst.active_domain() == {"a", "b", 3}
+
+
+class TestInstanceIndex:
+    def test_lookup_by_position(self):
+        inst = Instance([f("R", "a", "b"), f("R", "a", "c"), f("R", "x", "b")])
+        assert set(inst.lookup("R", 0, "a")) == {f("R", "a", "b"), f("R", "a", "c")}
+        assert set(inst.lookup("R", 1, "b")) == {f("R", "a", "b"), f("R", "x", "b")}
+        assert inst.lookup("R", 0, "zzz") == []
+
+    def test_index_updated_on_add(self):
+        inst = Instance([f("R", "a", "b")])
+        assert len(inst.lookup("R", 0, "a")) == 1  # build index
+        inst.add(f("R", "a", "c"))
+        assert len(inst.lookup("R", 0, "a")) == 2
+
+    def test_index_invalidated_on_discard(self):
+        inst = Instance([f("R", "a", "b"), f("R", "a", "c")])
+        assert len(inst.lookup("R", 0, "a")) == 2
+        inst.discard(f("R", "a", "b"))
+        assert len(inst.lookup("R", 0, "a")) == 1
+
+
+class TestInstanceAlgebra:
+    def test_restrict(self):
+        inst = Instance([f("R", "a"), f("S", "b")])
+        assert set(inst.restrict(["R"])) == {f("R", "a")}
+
+    def test_union_difference_intersection(self):
+        left = Instance([f("R", "a"), f("R", "b")])
+        right = Instance([f("R", "b"), f("R", "c")])
+        assert set(left.union(right)) == {f("R", "a"), f("R", "b"), f("R", "c")}
+        assert set(left.difference(right)) == {f("R", "a")}
+        assert set(left.intersection(right)) == {f("R", "b")}
+
+    def test_issubset_and_equality(self):
+        small = Instance([f("R", "a")])
+        big = Instance([f("R", "a"), f("R", "b")])
+        assert small.issubset(big)
+        assert not big.issubset(small)
+        assert Instance([f("R", "a")]) == Instance([f("R", "a")])
+        assert Instance([f("R", "a")]) != big
+
+    def test_copy_is_independent(self):
+        original = Instance([f("R", "a")])
+        clone = original.copy()
+        clone.add(f("R", "b"))
+        assert len(original) == 1
+        assert len(clone) == 2
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["R", "S"]),
+            st.text(alphabet="abc", min_size=1, max_size=2),
+            st.text(alphabet="abc", min_size=1, max_size=2),
+        ),
+        max_size=30,
+    )
+)
+def test_instance_behaves_like_a_set_of_facts(raw):
+    facts = [Fact(rel, (x, y)) for rel, x, y in raw]
+    inst = Instance(facts)
+    assert set(inst) == set(facts)
+    assert len(inst) == len(set(facts))
+    for fact in facts:
+        assert fact in inst
+        assert fact in inst.lookup(fact.relation, 0, fact.args[0])

@@ -1,0 +1,149 @@
+"""Tests for CQ/UCQ representation and evaluation."""
+
+import pytest
+
+from repro.relational.instance import Fact, Instance
+from repro.relational.queries import (
+    Atom,
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    evaluate,
+    evaluate_constants_only,
+    match_atoms,
+    plan_join_order,
+)
+from repro.relational.terms import Const, Null, Variable
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+@pytest.fixture
+def triangle():
+    return Instance(
+        [f("E", "a", "b"), f("E", "b", "c"), f("E", "c", "a"), f("E", "a", "c")]
+    )
+
+
+class TestAtom:
+    def test_variables(self):
+        atom = Atom("R", (X, Const("k"), Y))
+        assert atom.variables() == {X, Y}
+
+    def test_substitute(self):
+        atom = Atom("R", (X, Const("k")))
+        assert atom.substitute({X: "v"}) == f("R", "v", "k")
+
+    def test_substitute_missing_binding_raises(self):
+        with pytest.raises(KeyError):
+            Atom("R", (X,)).substitute({})
+
+
+class TestConjunctiveQuery:
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            ConjunctiveQuery([X], [Atom("R", (Y,))])
+
+    def test_boolean_query(self):
+        q = ConjunctiveQuery([], [Atom("R", (X,))])
+        assert q.is_boolean()
+
+    def test_variables(self):
+        q = ConjunctiveQuery([X], [Atom("R", (X, Y))])
+        assert q.variables() == {X, Y}
+
+
+class TestEvaluation:
+    def test_single_atom(self, triangle):
+        q = ConjunctiveQuery([X, Y], [Atom("E", (X, Y))])
+        assert evaluate(q, triangle) == {
+            ("a", "b"), ("b", "c"), ("c", "a"), ("a", "c"),
+        }
+
+    def test_join(self, triangle):
+        q = ConjunctiveQuery([X, Z], [Atom("E", (X, Y)), Atom("E", (Y, Z))])
+        assert ("a", "c") in evaluate(q, triangle)
+        assert ("a", "a") in evaluate(q, triangle)  # a->c->a
+
+    def test_projection(self, triangle):
+        q = ConjunctiveQuery([X], [Atom("E", (X, Y))])
+        assert evaluate(q, triangle) == {("a",), ("b",), ("c",)}
+
+    def test_boolean_answer(self, triangle):
+        q = ConjunctiveQuery([], [Atom("E", (X, X))])
+        assert evaluate(q, triangle) == set()
+        q2 = ConjunctiveQuery([], [Atom("E", (X, Y))])
+        assert evaluate(q2, triangle) == {()}
+
+    def test_constant_in_body(self, triangle):
+        q = ConjunctiveQuery([Y], [Atom("E", (Const("a"), Y))])
+        assert evaluate(q, triangle) == {("b",), ("c",)}
+
+    def test_repeated_variable_selects_loops(self):
+        inst = Instance([f("E", "a", "a"), f("E", "a", "b")])
+        q = ConjunctiveQuery([X], [Atom("E", (X, X))])
+        assert evaluate(q, inst) == {("a",)}
+
+    def test_inequalities(self):
+        inst = Instance([f("E", "a", "a"), f("E", "a", "b")])
+        q = ConjunctiveQuery([X, Y], [Atom("E", (X, Y))], inequalities=[(X, Y)])
+        assert evaluate(q, inst) == {("a", "b")}
+
+    def test_empty_relation(self):
+        q = ConjunctiveQuery([X], [Atom("Missing", (X,))])
+        assert evaluate(q, Instance()) == set()
+
+    def test_constants_only_filters_nulls(self):
+        inst = Instance([f("R", "a", Null(1)), f("R", "b", "c")])
+        q = ConjunctiveQuery([X, Y], [Atom("R", (X, Y))])
+        assert evaluate_constants_only(q, inst) == {("b", "c")}
+        assert len(evaluate(q, inst)) == 2
+
+
+class TestUCQ:
+    def test_union_semantics(self, triangle):
+        q1 = ConjunctiveQuery([X], [Atom("E", (X, Const("b")))])
+        q2 = ConjunctiveQuery([X], [Atom("E", (Const("b"), X))])
+        ucq = UnionOfConjunctiveQueries([q1, q2])
+        assert evaluate(ucq, triangle) == {("a",), ("c",)}
+
+    def test_width_mismatch_rejected(self):
+        q1 = ConjunctiveQuery([X], [Atom("E", (X, Y))])
+        q2 = ConjunctiveQuery([X, Y], [Atom("E", (X, Y))])
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries([q1, q2])
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries([])
+
+
+class TestMatcher:
+    def test_match_atoms_with_seed_binding(self, triangle):
+        atoms = [Atom("E", (X, Y))]
+        bindings = list(match_atoms(triangle, atoms, {X: "a"}))
+        assert {b[Y] for b in bindings} == {"b", "c"}
+
+    def test_plan_prefers_bound_atoms(self, triangle):
+        big = Instance(triangle)
+        for index in range(50):
+            big.add(f("F", index, index))
+        atoms = [Atom("F", (Z, Z)), Atom("E", (Const("a"), Y))]
+        order = plan_join_order(big, atoms, set())
+        assert order[0].relation == "E"  # constant probe first
+
+    def test_match_is_exhaustive(self, triangle):
+        atoms = [Atom("E", (X, Y)), Atom("E", (Y, Z))]
+        found = {
+            (b[X], b[Y], b[Z]) for b in match_atoms(triangle, atoms)
+        }
+        expected = {
+            (x, y, z)
+            for (x, y) in [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")]
+            for (y2, z) in [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")]
+            if y == y2
+        }
+        assert found == expected

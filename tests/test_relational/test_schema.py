@@ -1,0 +1,54 @@
+"""Tests for schemas and relation symbols."""
+
+import pytest
+
+from repro.relational.schema import RelationSymbol, Schema
+
+
+class TestRelationSymbol:
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSymbol("R", -1)
+
+    def test_attribute_count_must_match_arity(self):
+        with pytest.raises(ValueError):
+            RelationSymbol("R", 2, ["only_one"])
+        ok = RelationSymbol("R", 2, ["a", "b"])
+        assert ok.attributes == ("a", "b")
+
+    def test_equality(self):
+        assert RelationSymbol("R", 2) == RelationSymbol("R", 2)
+        assert RelationSymbol("R", 2) != RelationSymbol("R", 3)
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = Schema([RelationSymbol("R", 2)])
+        assert "R" in schema
+        assert schema["R"].arity == 2
+        assert schema.get("missing") is None
+        assert schema.arity("R") == 2
+
+    def test_conflicting_redeclaration_rejected(self):
+        schema = Schema([RelationSymbol("R", 2)])
+        with pytest.raises(ValueError):
+            schema.add(RelationSymbol("R", 3))
+        schema.add(RelationSymbol("R", 2))  # idempotent
+
+    def test_union(self):
+        left = Schema([RelationSymbol("R", 1)])
+        right = Schema([RelationSymbol("S", 2)])
+        merged = left.union(right)
+        assert merged.names() == {"R", "S"}
+        assert left.names() == {"R"}  # original untouched
+
+    def test_disjointness(self):
+        left = Schema([RelationSymbol("R", 1)])
+        right = Schema([RelationSymbol("R", 1)])
+        assert not left.is_disjoint_from(right)
+        assert left.is_disjoint_from(Schema([RelationSymbol("S", 1)]))
+
+    def test_len_and_iter(self):
+        schema = Schema([RelationSymbol("R", 1), RelationSymbol("S", 2)])
+        assert len(schema) == 2
+        assert {r.name for r in schema} == {"R", "S"}

@@ -1,0 +1,86 @@
+"""Tests for terms and values."""
+
+import pytest
+
+from repro.relational.terms import (
+    Const,
+    Null,
+    SkolemValue,
+    Variable,
+    fresh_null,
+    is_constant_value,
+    is_null_value,
+    reset_null_counter,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_distinct_from_const_of_same_payload(self):
+        assert Variable("x") != Const("x")
+        assert hash(Variable("x")) != hash(Const("x"))
+
+    def test_repr(self):
+        assert repr(Variable("foo")) == "?foo"
+
+
+class TestConst:
+    def test_equality(self):
+        assert Const(3) == Const(3)
+        assert Const(3) != Const("3")
+
+    def test_wraps_raw_value(self):
+        assert Const("abc").value == "abc"
+
+
+class TestNull:
+    def test_equality_by_label(self):
+        assert Null(1) == Null(1)
+        assert Null(1) != Null(2)
+
+    def test_fresh_nulls_are_distinct(self):
+        assert fresh_null() != fresh_null()
+
+    def test_reset_counter(self):
+        reset_null_counter()
+        first = fresh_null()
+        reset_null_counter()
+        assert fresh_null() == first
+
+    def test_null_is_not_a_constant(self):
+        assert is_null_value(Null(1))
+        assert not is_constant_value(Null(1))
+
+
+class TestSkolemValue:
+    def test_equality_structural(self):
+        assert SkolemValue("f", ("a", 1)) == SkolemValue("f", ("a", 1))
+        assert SkolemValue("f", ("a",)) != SkolemValue("g", ("a",))
+        assert SkolemValue("f", ("a",)) != SkolemValue("f", ("b",))
+
+    def test_nesting_and_depth(self):
+        inner = SkolemValue("g", ("a",))
+        outer = SkolemValue("f", (inner, "b"))
+        assert outer.depth() == 2
+        assert inner.depth() == 1
+
+    def test_counts_as_null(self):
+        assert is_null_value(SkolemValue("f", ()))
+        assert not is_constant_value(SkolemValue("f", ()))
+
+    def test_hashable_in_sets(self):
+        values = {SkolemValue("f", ("a",)), SkolemValue("f", ("a",))}
+        assert len(values) == 1
+
+
+class TestValueClassification:
+    @pytest.mark.parametrize("value", ["a", 0, 3.5, (), "N1"])
+    def test_plain_values_are_constants(self, value):
+        assert is_constant_value(value)
+        assert not is_null_value(value)

@@ -1,0 +1,119 @@
+"""Tests for the iBench-style scenario generator (the paper's future work)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import ScenarioBuilder, random_ibench_scenario
+from repro.xr.monolithic import MonolithicEngine
+from repro.xr.segmentary import SegmentaryEngine
+
+
+class TestBuilder:
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioBuilder().build()
+
+    def test_copy_primitive(self):
+        scenario = ScenarioBuilder().copy(arity=3).build()
+        assert len(scenario.mapping.st_tgds) == 1
+        assert len(scenario.mapping.target_egds) == 2  # key on 3 attributes
+        assert scenario.mapping.is_weakly_acyclic()
+
+    def test_projection_keep_bounds(self):
+        with pytest.raises(ValueError):
+            ScenarioBuilder().projection(arity=3, keep=0)
+
+    def test_augment_has_existentials(self):
+        scenario = ScenarioBuilder().augment(arity=2, added=2).build()
+        (tgd,) = scenario.mapping.st_tgds
+        assert len(tgd.existential) == 2
+
+    def test_vpartition_two_targets(self):
+        scenario = ScenarioBuilder().vpartition(left=2, right=1).build()
+        assert len(scenario.mapping.target.names()) == 2
+
+    def test_selfjoin_has_target_tgds(self):
+        scenario = ScenarioBuilder().selfjoin().build()
+        assert scenario.mapping.target_tgds
+        assert scenario.mapping.is_weakly_acyclic()
+
+    def test_composition(self):
+        scenario = (
+            ScenarioBuilder().copy().fusion().augment().selfjoin().build()
+        )
+        assert len(scenario.mapping.source.names()) == 5  # fusion has two
+        assert scenario.mapping.is_weakly_acyclic()
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        scenario = ScenarioBuilder().fusion().build()
+        first = scenario.generate(keys_per_primitive=5, conflict_rate=0.5, seed=3)
+        second = scenario.generate(keys_per_primitive=5, conflict_rate=0.5, seed=3)
+        assert set(first) == set(second)
+
+    def test_zero_conflicts_is_consistent(self):
+        from repro.chase import has_solution
+
+        scenario = ScenarioBuilder().copy().fusion().build()
+        instance = scenario.generate(keys_per_primitive=4, conflict_rate=0.0)
+        assert has_solution(instance, scenario.mapping)
+
+    def test_full_conflicts_are_inconsistent(self):
+        from repro.chase import has_solution
+
+        scenario = ScenarioBuilder().fusion().build()
+        instance = scenario.generate(keys_per_primitive=3, conflict_rate=1.0)
+        assert not has_solution(instance, scenario.mapping)
+
+
+class TestEnginesOnScenarios:
+    def test_fusion_conflict_answers(self):
+        from repro.relational.queries import Atom, ConjunctiveQuery
+        from repro.relational.terms import Variable
+
+        scenario = ScenarioBuilder().fusion(arity=2).build()
+        instance = scenario.generate(keys_per_primitive=4, conflict_rate=0.5, seed=1)
+        target = next(iter(scenario.mapping.target)).name
+        x, y = Variable("x"), Variable("y")
+        key_query = ConjunctiveQuery([x], [Atom(target, (x, y))])
+        row_query = ConjunctiveQuery([x, y], [Atom(target, (x, y))])
+        engine = SegmentaryEngine(scenario.mapping, instance)
+        keys = engine.answer(key_query)
+        rows = engine.answer(row_query)
+        assert len(keys) == 4            # every key has some target row
+        assert len(rows) < 4 or len(rows) == 4  # conflicted keys lose rows
+        monolithic = MonolithicEngine(scenario.mapping, instance)
+        assert monolithic.answer(key_query) == keys
+        assert monolithic.answer(row_query) == rows
+
+    def test_selfjoin_certain_reachability(self):
+        from repro.relational.queries import Atom, ConjunctiveQuery
+        from repro.relational.terms import Variable
+
+        scenario = ScenarioBuilder().selfjoin(chain=3).build()
+        instance = scenario.generate(keys_per_primitive=1, conflict_rate=1.0, seed=0)
+        closed = next(
+            name for name in scenario.mapping.target.names() if name.startswith("TC_")
+        )
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery([x, y], [Atom(closed, (x, y))])
+        engine = SegmentaryEngine(scenario.mapping, instance)
+        answers = engine.answer(query)
+        # The fork at the chain head makes reachability from node 0
+        # uncertain, but the tail of the chain (1 -> 2 -> 3, closed) stays.
+        assert ("sj1_n0_1", "sj1_n0_3") in answers
+        assert not any(pair[0].endswith("_0") for pair in answers)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_random_scenarios_are_well_formed(seed):
+    scenario = random_ibench_scenario(seed, size=3)
+    assert scenario.mapping.is_weakly_acyclic()
+    instance = scenario.generate(keys_per_primitive=2, conflict_rate=0.3, seed=seed)
+    assert len(instance) > 0
+    # The reduction accepts every generated mapping.
+    from repro.reduction import reduce_mapping
+
+    reduce_mapping(scenario.mapping)

@@ -1,0 +1,116 @@
+"""Tests for the SQLite instance store."""
+
+import pytest
+
+from repro.relational import Fact, Instance
+from repro.relational.terms import Null, SkolemValue
+from repro.storage import SQLiteInstanceStore
+from repro.storage.sqlite_store import decode_value, encode_value
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+class TestValueEncoding:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "plain",
+            "with:colon",
+            "",
+            42,
+            -1,
+            3.25,
+            Null(17),
+            SkolemValue("f", ("a", 2)),
+            SkolemValue("g", (SkolemValue("f", ("a",)), "b")),
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_distinct_types_stay_distinct(self):
+        assert decode_value(encode_value(1)) != decode_value(encode_value("1"))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            decode_value("zz:broken")
+
+
+class TestStore:
+    def test_save_and_load(self):
+        with SQLiteInstanceStore() as store:
+            instance = Instance(
+                [f("R", "a", 1), f("R", "b", 2), f("S", Null(3))]
+            )
+            assert store.save(instance) == 3
+            assert set(store.load()) == set(instance)
+
+    def test_save_is_idempotent(self):
+        with SQLiteInstanceStore() as store:
+            instance = Instance([f("R", "a", 1)])
+            store.save(instance)
+            assert store.save(instance) == 0
+            assert store.count("R") == 1
+
+    def test_load_restricted(self):
+        with SQLiteInstanceStore() as store:
+            store.save(Instance([f("R", "a"), f("S", "b")]))
+            assert set(store.load(["R"])) == {f("R", "a")}
+
+    def test_relations_schema(self):
+        with SQLiteInstanceStore() as store:
+            store.save(Instance([f("R", "a", "b")]))
+            schema = store.relations()
+            assert schema.arity("R") == 2
+
+    def test_arity_conflict_rejected(self):
+        with SQLiteInstanceStore() as store:
+            store.save(Instance([f("R", "a")]))
+            with pytest.raises(ValueError, match="arity"):
+                store.save(Instance([f("R", "a", "b")]))
+
+    def test_zero_arity_facts(self):
+        with SQLiteInstanceStore() as store:
+            store.save(Instance([f("Flag")]))
+            assert set(store.load()) == {f("Flag")}
+
+    def test_injection_guard(self):
+        with SQLiteInstanceStore() as store:
+            with pytest.raises(ValueError, match="invalid relation name"):
+                store.save(Instance([f("bad; DROP TABLE x", "v")]))
+
+    def test_clear(self):
+        with SQLiteInstanceStore() as store:
+            store.save(Instance([f("R", "a")]))
+            store.clear("R")
+            assert store.count("R") == 0
+
+    def test_file_persistence(self, tmp_path):
+        path = str(tmp_path / "genes.db")
+        with SQLiteInstanceStore(path) as store:
+            store.save(Instance([f("R", "a", SkolemValue("sk", ("x",)))]))
+        with SQLiteInstanceStore(path) as store:
+            assert set(store.load()) == {f("R", "a", SkolemValue("sk", ("x",)))}
+
+    def test_exchange_phase_materialization(self):
+        """The paper materializes the exchanged target in SQL: round-trip a
+        chased instance including skolem values."""
+        from repro.genomics.generator import GenomeDataGenerator, GeneratorConfig
+        from repro.genomics.schema import genome_mapping
+        from repro.reduction import reduce_mapping
+        from repro.xr.exchange import build_exchange_data
+
+        generated = GenomeDataGenerator(
+            GeneratorConfig(transcripts=5, suspect_fraction=0.2, seed=1)
+        ).generate()
+        reduced = reduce_mapping(genome_mapping())
+        data = build_exchange_data(reduced.gav, generated.instance)
+        with SQLiteInstanceStore() as store:
+            store.save(data.chased)
+            assert set(store.load()) == set(data.chased)

@@ -1,0 +1,174 @@
+"""End-to-end tests for the monolithic and segmentary engines."""
+
+import pytest
+
+from repro.parser import parse_mapping, parse_program, parse_query
+from repro.relational import Fact, Instance
+from repro.xr.monolithic import MonolithicEngine
+from repro.xr.oracle import xr_certain_oracle
+from repro.xr.segmentary import SegmentaryEngine
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+def engines(mapping, instance):
+    return [
+        MonolithicEngine(mapping, instance),
+        SegmentaryEngine(mapping, instance),
+    ]
+
+
+@pytest.fixture
+def key_mapping():
+    return parse_mapping(
+        """
+        SOURCE R/2. TARGET P/2.
+        R(x, y) -> P(x, y).
+        P(x, y), P(x, z) -> y = z.
+        """
+    )
+
+
+class TestBothEngines:
+    def test_consistent_instance(self, key_mapping):
+        instance = Instance([f("R", "a", "b")])
+        query = parse_query("q(x, y) :- P(x, y).")
+        for engine in engines(key_mapping, instance):
+            assert engine.answer(query) == {("a", "b")}
+
+    def test_key_conflict(self, key_mapping):
+        instance = Instance([f("R", "a", "b"), f("R", "a", "c"), f("R", "d", "e")])
+        cases = {
+            "q(x) :- P(x, y).": {("a",), ("d",)},
+            "q(x, y) :- P(x, y).": {("d", "e")},
+            "q() :- P(x, y).": {()},
+        }
+        for text, expected in cases.items():
+            query = parse_query(text)
+            for engine in engines(key_mapping, instance):
+                assert engine.answer(query) == expected, (text, type(engine))
+
+    def test_empty_instance(self, key_mapping):
+        query = parse_query("q(x) :- P(x, y).")
+        for engine in engines(key_mapping, Instance()):
+            assert engine.answer(query) == set()
+
+    def test_ucq_answering(self, key_mapping):
+        instance = Instance([f("R", "a", "b"), f("R", "a", "c")])
+        ucq = parse_program("q(x) :- P(x, y). q(y) :- P(x, y).")
+        for engine in engines(key_mapping, instance):
+            # x projection certain; neither y value certain.
+            assert engine.answer(ucq) == {("a",)}
+
+    def test_null_clustering_certainty(self):
+        """Co-clustering through egd-equated nulls (the knownIsoforms shape)."""
+        mapping = parse_mapping(
+            """
+            SOURCE P/1, L/2. TARGET K/2, LL/2.
+            P(t) -> K(c, t).
+            L(t1, t2) -> LL(t1, t2).
+            LL(t1, t2), K(c1, t1), K(c2, t2) -> c1 = c2.
+            K(c1, t), K(c2, t) -> c1 = c2.
+            """
+        )
+        instance = Instance(
+            [f("P", "t1"), f("P", "t2"), f("P", "t3"), f("L", "t1", "t2")]
+        )
+        query = parse_query("q(a, b) :- K(c, a), K(c, b).")
+        expected = {
+            ("t1", "t1"), ("t1", "t2"), ("t2", "t1"), ("t2", "t2"), ("t3", "t3"),
+        }
+        for engine in engines(mapping, instance):
+            assert engine.answer(query) == expected
+
+    def test_matches_oracle_on_example_3(self):
+        mapping = parse_mapping(
+            """
+            SOURCE P/2, Q/2. TARGET R/2, S/2, T/3.
+            P(x, y) -> R(x, y).
+            Q(x, y) -> S(x, y).
+            R(x, y), S(x, z) -> T(x, y, z).
+            R(x, y), R(x, y2) -> y = y2.
+            S(x, y), S(x, y2) -> y = y2.
+            """
+        )
+        instance = Instance(
+            [
+                f("P", "a1", "a2"), f("P", "a1", "a3"),
+                f("Q", "a1", "a2"), f("Q", "a1", "a3"),
+            ]
+        )
+        for text in ("q(x) :- T(x, y, z).", "q(x, y, z) :- T(x, y, z)."):
+            query = parse_query(text)
+            expected = xr_certain_oracle(query, instance, mapping)
+            for engine in engines(mapping, instance):
+                assert engine.answer(query) == expected
+
+
+class TestSegmentarySpecifics:
+    def test_exchange_is_idempotent(self, key_mapping):
+        engine = SegmentaryEngine(
+            key_mapping, Instance([f("R", "a", "b"), f("R", "a", "c")])
+        )
+        first = engine.exchange()
+        second = engine.exchange()
+        assert first is second
+
+    def test_exchange_stats_populated(self, key_mapping):
+        engine = SegmentaryEngine(
+            key_mapping, Instance([f("R", "a", "b"), f("R", "a", "c")])
+        )
+        stats = engine.exchange()
+        assert stats.source_facts == 2
+        assert stats.violations == 1
+        assert stats.clusters == 1
+        assert stats.suspect_source_facts == 2
+
+    def test_safe_candidates_skip_solving(self, key_mapping):
+        engine = SegmentaryEngine(key_mapping, Instance([f("R", "a", "b")]))
+        engine.answer(parse_query("q(x) :- P(x, y)."))
+        stats = engine.last_query_stats
+        assert stats.candidates == 1
+        assert stats.safe_candidates == 1
+        assert stats.programs_solved == 0
+
+    def test_suspect_candidates_solved_in_small_programs(self, key_mapping):
+        instance = Instance(
+            [f("R", "a", "b"), f("R", "a", "c")]
+            + [f("R", f"k{i}", f"v{i}") for i in range(20)]
+        )
+        engine = SegmentaryEngine(key_mapping, instance)
+        answers = engine.answer(parse_query("q(x) :- P(x, y)."))
+        assert len(answers) == 21
+        stats = engine.last_query_stats
+        assert stats.programs_solved == 1
+        # The signature program covers the conflict only, not the 20 safe keys.
+        assert stats.largest_program_atoms < 40
+
+    def test_multiple_queries_reuse_exchange(self, key_mapping):
+        engine = SegmentaryEngine(
+            key_mapping, Instance([f("R", "a", "b"), f("R", "a", "c")])
+        )
+        engine.answer(parse_query("q(x) :- P(x, y)."))
+        seconds = engine.exchange_stats.seconds
+        engine.answer(parse_query("q(y) :- P(x, y)."))
+        assert engine.exchange_stats.seconds == seconds  # not re-run
+
+
+class TestMonolithicSpecifics:
+    def test_stats_recorded(self, key_mapping):
+        engine = MonolithicEngine(
+            key_mapping, Instance([f("R", "a", "b"), f("R", "a", "c")])
+        )
+        engine.answer(parse_query("q(x) :- P(x, y)."))
+        assert engine.last_stats.atoms > 0
+        assert engine.last_stats.candidates == 1
+
+    def test_accepts_pre_reduced_mapping(self, key_mapping):
+        from repro.reduction import reduce_mapping
+
+        reduced = reduce_mapping(key_mapping)
+        engine = MonolithicEngine(reduced, Instance([f("R", "a", "b")]))
+        assert engine.answer(parse_query("q(x) :- P(x, y).")) == {("a",)}

@@ -1,0 +1,90 @@
+"""The reproduction finding: the literal Figure 1 program misses repairs.
+
+Deleting ``R(c,c)`` repairs the violation below by removing *both* facts of
+the violated egd body incidentally (they lose their only supports); no
+target fact needs the "deleted" label.  But then no rule supports
+``Rd(c,c)`` in the Figure 1 program, so that XR-solution corresponds to no
+stable model — the ``¬Ri`` guards withdraw the support of the deletion that
+caused the cascade.  The default repair-guess encoding handles it.
+
+This is documented in DESIGN.md §6 and in xr/program.py.
+"""
+
+import pytest
+
+from repro.parser import parse_mapping, parse_query
+from repro.relational import Fact, Instance
+from repro.xr.monolithic import MonolithicEngine
+from repro.xr.oracle import source_repairs, xr_certain_oracle
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+@pytest.fixture
+def scenario():
+    mapping = parse_mapping(
+        """
+        SOURCE R/2, S/2. TARGET U/2, T/2.
+        R(x, y), R(z, x) -> U(y, z).
+        R(x, x) -> T(x, x).
+        R(x, z), S(x, z) -> U(z, z).
+        U(y, x) -> U(x, x).
+        U(x, u), T(x, z) -> z = u.
+        """
+    )
+    instance = Instance(
+        [f("R", "b", "c"), f("R", "c", "c"), f("S", "b", "a"), f("S", "c", "c")]
+    )
+    query = parse_query("q() :- U(y, z), U(x, x).")
+    return mapping, instance, query
+
+
+class TestFigure1Incompleteness:
+    def test_two_repairs_exist(self, scenario):
+        mapping, instance, _ = scenario
+        repairs = source_repairs(instance, mapping)
+        assert len(repairs) == 2  # drop R(b,c) or drop R(c,c)
+
+    def test_oracle_answer_is_empty(self, scenario):
+        mapping, instance, query = scenario
+        assert xr_certain_oracle(query, instance, mapping) == set()
+
+    def test_repair_encoding_matches_oracle(self, scenario):
+        mapping, instance, query = scenario
+        engine = MonolithicEngine(mapping, instance, encoding="repair")
+        assert engine.answer(query) == set()
+
+    def test_figure1_encoding_overapproximates(self, scenario):
+        """The literal Figure 1 program misses the repair that deletes
+        R(c,c), so it wrongly reports the Boolean query as certain."""
+        mapping, instance, query = scenario
+        engine = MonolithicEngine(mapping, instance, encoding="figure1")
+        assert engine.answer(query) == {()}
+
+    def test_encodings_agree_on_single_level_mappings(self):
+        """On key constraints directly over exchanged facts — the shape of
+        the genomics benchmark conflicts — both encodings agree."""
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET P/2.
+            R(x, y) -> P(x, y).
+            P(x, y), P(x, z) -> y = z.
+            """
+        )
+        instance = Instance(
+            [f("R", "a", "b"), f("R", "a", "c"), f("R", "d", "e")]
+        )
+        for text in ("q(x) :- P(x, y).", "q(x, y) :- P(x, y).", "q() :- P(x, y)."):
+            query = parse_query(text)
+            oracle = xr_certain_oracle(query, instance, mapping)
+            repair = MonolithicEngine(mapping, instance, encoding="repair")
+            figure1 = MonolithicEngine(mapping, instance, encoding="figure1")
+            assert repair.answer(query) == figure1.answer(query) == oracle
+
+    def test_unknown_encoding_rejected(self, scenario):
+        mapping, instance, query = scenario
+        engine = MonolithicEngine(mapping, instance, encoding="bogus")
+        with pytest.raises(ValueError, match="unknown encoding"):
+            engine.answer(query)

@@ -1,0 +1,108 @@
+"""Tests for the brute-force XR-Certain oracle (Definition 1)."""
+
+import pytest
+
+from repro.parser import parse_mapping, parse_query
+from repro.relational import Fact, Instance
+from repro.xr.oracle import source_repairs, xr_certain_oracle
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+@pytest.fixture
+def key_mapping():
+    return parse_mapping(
+        """
+        SOURCE R/2. TARGET P/2.
+        R(x, y) -> P(x, y).
+        P(x, y), P(x, z) -> y = z.
+        """
+    )
+
+
+class TestSourceRepairs:
+    def test_consistent_instance_is_its_own_repair(self, key_mapping):
+        instance = Instance([f("R", "a", "b")])
+        assert source_repairs(instance, key_mapping) == [frozenset(instance)]
+
+    def test_key_conflict_two_repairs(self, key_mapping):
+        instance = Instance([f("R", "a", "b"), f("R", "a", "c")])
+        repairs = source_repairs(instance, key_mapping)
+        assert {frozenset({f("R", "a", "b")}), frozenset({f("R", "a", "c")})} == set(
+            repairs
+        )
+
+    def test_unaffected_facts_in_every_repair(self, key_mapping):
+        instance = Instance(
+            [f("R", "a", "b"), f("R", "a", "c"), f("R", "z", "w")]
+        )
+        for repair in source_repairs(instance, key_mapping):
+            assert f("R", "z", "w") in repair
+
+    def test_repairs_are_maximal(self, key_mapping):
+        instance = Instance([f("R", "a", "b"), f("R", "a", "c")])
+        repairs = source_repairs(instance, key_mapping)
+        for repair in repairs:
+            assert not any(repair < other for other in repairs)
+            assert len(repair) == 1
+
+    def test_empty_instance(self, key_mapping):
+        assert source_repairs(Instance(), key_mapping) == [frozenset()]
+
+    def test_size_limit(self, key_mapping):
+        instance = Instance(f("R", i, i) for i in range(25))
+        with pytest.raises(ValueError, match="limited"):
+            source_repairs(instance, key_mapping)
+
+
+class TestXRCertainOracle:
+    def test_consistent_instance_gives_certain_answers(self, key_mapping):
+        instance = Instance([f("R", "a", "b")])
+        query = parse_query("q(x, y) :- P(x, y).")
+        assert xr_certain_oracle(query, instance, key_mapping) == {("a", "b")}
+
+    def test_conflicting_values_drop_out(self, key_mapping):
+        instance = Instance([f("R", "a", "b"), f("R", "a", "c")])
+        query = parse_query("q(x, y) :- P(x, y).")
+        assert xr_certain_oracle(query, instance, key_mapping) == set()
+
+    def test_projection_survives_conflict(self, key_mapping):
+        # Both repairs keep some P(a, _): the projection to x is certain.
+        instance = Instance([f("R", "a", "b"), f("R", "a", "c")])
+        query = parse_query("q(x) :- P(x, y).")
+        assert xr_certain_oracle(query, instance, key_mapping) == {("a",)}
+
+    def test_boolean_query(self, key_mapping):
+        instance = Instance([f("R", "a", "b"), f("R", "a", "c")])
+        query = parse_query("q() :- P(x, y).")
+        assert xr_certain_oracle(query, instance, key_mapping) == {()}
+
+    def test_nulls_never_answers(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/1. TARGET T/2.
+            R(x) -> T(x, y).
+            """
+        )
+        query = parse_query("q(x, y) :- T(x, y).")
+        assert xr_certain_oracle(query, Instance([f("R", "a")]), mapping) == set()
+
+    def test_example_1_from_paper(self):
+        """Example 1: the ideal envelope is smaller than Isuspect, but the
+        XR-Certain answers still keep Q(b, c)."""
+        mapping = parse_mapping(
+            """
+            SOURCE P/2, Q/2. TARGET Pp/2, Qp/2.
+            P(x, y) -> Pp(x, y).
+            Q(x, y) -> Qp(x, y).
+            Pp(x, y), Pp(x, y2) -> y = y2.
+            Pp(x, y), Pp(x, y2), Qp(y, y2) -> y = y2.
+            """
+        )
+        instance = Instance(
+            [f("P", "a", "b"), f("P", "a", "c"), f("Q", "b", "c")]
+        )
+        query = parse_query("q(x, y) :- Qp(x, y).")
+        assert xr_certain_oracle(query, instance, mapping) == {("b", "c")}

@@ -1,0 +1,113 @@
+"""Property tests for the paper's propositions (§6), on random scenarios.
+
+Each test states one proposition and checks it against brute force on the
+small random ``glav+(wa-glav, egd)`` scenarios from ``xval_helper``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.reduction import reduce_mapping
+from repro.relational import Instance
+from repro.relational.queries import evaluate_constants_only
+from repro.xr.envelope import analyze_envelopes
+from repro.xr.exchange import build_exchange_data
+from repro.xr.monolithic import MonolithicEngine
+from repro.xr.oracle import source_repairs, xr_certain_oracle
+from tests.test_xr.xval_helper import random_scenario
+
+SEEDS = st.integers(0, 50_000)
+
+
+@settings(max_examples=20, deadline=None)
+@given(SEEDS)
+def test_proposition_1_certain_subset_of_candidates(seed):
+    """Prop. 1: XR-Certain(q) ⊆ q(J) for the canonical quasi-solution J."""
+    mapping, instance, query = random_scenario(seed)
+    certain = xr_certain_oracle(query, instance, mapping)
+    # Candidate answers: evaluate the rewritten query over the reduced
+    # quasi-solution (constants only).
+    reduced = reduce_mapping(mapping)
+    data = build_exchange_data(reduced.gav, instance)
+    rewritten = reduced.rewrite(query)
+    candidates = evaluate_constants_only(rewritten, data.chased)
+    assert certain <= candidates
+
+
+@settings(max_examples=20, deadline=None)
+@given(SEEDS)
+def test_proposition_3_suspect_is_a_repair_envelope(seed):
+    """Prop. 3: every fact deleted by any repair is suspect."""
+    mapping, instance, _query = random_scenario(seed)
+    reduced = reduce_mapping(mapping)
+    analysis = analyze_envelopes(build_exchange_data(reduced.gav, instance))
+    all_facts = set(instance)
+    for repair in source_repairs(instance, mapping):
+        assert (all_facts - repair) <= analysis.suspect_source
+
+
+@settings(max_examples=20, deadline=None)
+@given(SEEDS)
+def test_proposition_2_repairs_localize_to_envelope(seed):
+    """Prop. 2: repairs = {E' ∪ (I \\ E)} for envelope repairs E' of E."""
+    mapping, instance, _query = random_scenario(seed)
+    reduced = reduce_mapping(mapping)
+    analysis = analyze_envelopes(build_exchange_data(reduced.gav, instance))
+    envelope = analysis.suspect_source
+    rest = set(instance) - envelope
+
+    whole = {frozenset(r) for r in source_repairs(instance, mapping)}
+    # Repairs of the envelope, with the safe part glued back on.  A repair
+    # of E alone may be too permissive (context facts missing), so compute
+    # repairs of E *in context*: restrict each full repair to E.
+    glued = {frozenset((r & envelope) | rest) for r in whole}
+    assert whole == glued  # safe facts appear in every repair untouched
+
+
+@settings(max_examples=20, deadline=None)
+@given(SEEDS)
+def test_proposition_4_influence_is_exchange_envelope(seed):
+    """Prop. 4: facts of J missing from an XR-solution lie in the influence
+    of the suspect set (the target side of the exchange repair envelope)."""
+    from repro.chase.gav import gav_chase
+    from repro.xr.envelope import influence
+
+    mapping, instance, _query = random_scenario(seed)
+    reduced = reduce_mapping(mapping)
+    data = build_exchange_data(reduced.gav, instance)
+    analysis = analyze_envelopes(data)
+    target_envelope = influence(analysis.suspect_source, data)
+
+    tgds = list(reduced.gav.all_tgds())
+    for repair in source_repairs(instance, mapping):
+        repaired_chase = gav_chase(Instance(repair), tgds)
+        missing = set(data.chased) - set(repaired_chase)
+        assert missing <= target_envelope
+
+
+@settings(max_examples=20, deadline=None)
+@given(SEEDS)
+def test_clusters_factorize_repair_count(seed):
+    """Prop. 5/6: distinct clusters are independent, so the number of
+    repairs is the product of the per-cluster repair counts."""
+    mapping, instance, _query = random_scenario(seed)
+    reduced = reduce_mapping(mapping)
+    data = build_exchange_data(reduced.gav, instance)
+    analysis = analyze_envelopes(data)
+    total = len(source_repairs(instance, mapping))
+    product = 1
+    safe = analysis.safe_source
+    for cluster in analysis.clusters:
+        context = Instance(safe | cluster.source_envelope)
+        product *= len(source_repairs(context, mapping))
+    assert total == product
+
+
+@settings(max_examples=10, deadline=None)
+@given(SEEDS)
+def test_figure1_is_sound_upper_bound(seed):
+    """The literal Figure 1 encoding never *loses* certain answers — it can
+    only over-approximate them (it misses some stable models)."""
+    mapping, instance, query = random_scenario(seed)
+    certain = xr_certain_oracle(query, instance, mapping)
+    figure1 = MonolithicEngine(mapping, instance, encoding="figure1").answer(query)
+    assert certain <= figure1

@@ -1,0 +1,133 @@
+"""Tests for XR-Possible answers and XR-solution enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parser import parse_mapping, parse_query
+from repro.relational import Fact, Instance
+from repro.xr import (
+    MonolithicEngine,
+    SegmentaryEngine,
+    count_source_repairs,
+    xr_possible_oracle,
+    xr_solutions,
+)
+from tests.test_xr.xval_helper import random_scenario
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+@pytest.fixture
+def key_setup():
+    mapping = parse_mapping(
+        """
+        SOURCE R/2. TARGET P/2.
+        R(x, y) -> P(x, y).
+        P(x, y), P(x, z) -> y = z.
+        """
+    )
+    instance = Instance([f("R", "a", "b"), f("R", "a", "c"), f("R", "d", "e")])
+    return mapping, instance
+
+
+class TestPossibleAnswers:
+    def test_possible_superset_of_certain(self, key_setup):
+        mapping, instance = key_setup
+        query = parse_query("q(x, y) :- P(x, y).")
+        engine = SegmentaryEngine(mapping, instance)
+        assert engine.answer(query) <= engine.possible_answers(query)
+
+    def test_possible_matches_oracle(self, key_setup):
+        mapping, instance = key_setup
+        query = parse_query("q(x, y) :- P(x, y).")
+        expected = xr_possible_oracle(query, instance, mapping)
+        assert expected == {("a", "b"), ("a", "c"), ("d", "e")}
+        assert MonolithicEngine(mapping, instance).possible_answers(query) == expected
+        assert SegmentaryEngine(mapping, instance).possible_answers(query) == expected
+
+    def test_consistent_instance_possible_equals_certain(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET P/2.
+            R(x, y) -> P(x, y).
+            """
+        )
+        instance = Instance([f("R", "a", "b")])
+        query = parse_query("q(x, y) :- P(x, y).")
+        engine = SegmentaryEngine(mapping, instance)
+        assert engine.answer(query) == engine.possible_answers(query)
+
+
+class TestXRSolutions:
+    def test_enumeration(self, key_setup):
+        mapping, instance = key_setup
+        solutions = list(xr_solutions(mapping, instance))
+        assert len(solutions) == 2
+        repairs = {frozenset(s.source_repair) for s in solutions}
+        assert repairs == {
+            frozenset({f("R", "a", "b"), f("R", "d", "e")}),
+            frozenset({f("R", "a", "c"), f("R", "d", "e")}),
+        }
+        for solution in solutions:
+            assert solution.deleted == 1
+            # The target solution chases the repair with the original mapping.
+            assert len(solution.target_solution) == 2
+
+    def test_limit(self, key_setup):
+        mapping, instance = key_setup
+        assert len(list(xr_solutions(mapping, instance, limit=1))) == 1
+
+    def test_count(self, key_setup):
+        mapping, instance = key_setup
+        assert count_source_repairs(mapping, instance) == 2
+
+    def test_solutions_carry_nulls(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/1. TARGET T/2.
+            R(x) -> T(x, y).
+            """
+        )
+        instance = Instance([f("R", "a")])
+        (solution,) = xr_solutions(mapping, instance)
+        (fact,) = solution.target_solution
+        from repro.relational.terms import is_null_value
+
+        assert is_null_value(fact.args[1])
+
+    def test_independent_conflicts_multiply(self):
+        mapping = parse_mapping(
+            """
+            SOURCE R/2. TARGET P/2.
+            R(x, y) -> P(x, y).
+            P(x, y), P(x, z) -> y = z.
+            """
+        )
+        instance = Instance(
+            [f("R", k, v) for k in ("a", "b", "c") for v in ("1", "2")]
+        )
+        assert count_source_repairs(mapping, instance) == 8  # 2^3
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_possible_answers_match_oracle_on_random_scenarios(seed):
+    mapping, instance, query = random_scenario(seed)
+    expected = xr_possible_oracle(query, instance, mapping)
+    assert MonolithicEngine(mapping, instance).possible_answers(query) == expected
+    assert SegmentaryEngine(mapping, instance).possible_answers(query) == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_solution_enumeration_matches_oracle_repairs(seed):
+    from repro.xr import source_repairs
+
+    mapping, instance, _query = random_scenario(seed)
+    expected = {frozenset(r) for r in source_repairs(instance, mapping)}
+    enumerated = {
+        frozenset(s.source_repair) for s in xr_solutions(mapping, instance)
+    }
+    assert enumerated == expected
