@@ -276,11 +276,21 @@ class SatSolver:
             neg_activity, var = heapq.heappop(self._order)
             if self.assign[var] == _UNASSIGNED and -neg_activity == self.activity[var]:
                 return var if self.phase[var] == 1 else -var
-        # Fall back to a scan (heap exhausted by staleness).
-        for var in range(1, self.num_vars + 1):
-            if self.assign[var] == _UNASSIGNED:
-                return var if self.phase[var] == 1 else -var
-        return 0
+        # Heap exhausted by staleness: repopulate it with every unassigned
+        # variable (at its current activity) so this O(n) rebuild is paid
+        # once and subsequent decisions are O(log n) again, instead of
+        # degrading to a linear scan on every remaining decision.
+        rebuilt = [
+            (-self.activity[var], var)
+            for var in range(1, self.num_vars + 1)
+            if self.assign[var] == _UNASSIGNED
+        ]
+        if not rebuilt:
+            return 0
+        heapq.heapify(rebuilt)
+        self._order = rebuilt
+        _neg_activity, var = heapq.heappop(self._order)
+        return var if self.phase[var] == 1 else -var
 
     @staticmethod
     def _luby(index: int) -> int:

@@ -31,8 +31,15 @@ class QueryResult:
 
 @dataclass
 class BenchmarkContext:
-    """Session-wide cache of reduced mapping, instances, and engines."""
+    """Session-wide cache of reduced mapping, instances, and engines.
 
+    ``jobs`` and ``cache`` are forwarded to every segmentary engine this
+    context builds (warm engines are memoized per profile, so one context
+    measures one runtime configuration).
+    """
+
+    jobs: int = 1
+    cache: bool = True
     _reduced: ReducedMapping | None = None
     _instances: dict[str, GeneratedInstance] = field(default_factory=dict)
     _segmentary: dict[str, SegmentaryEngine] = field(default_factory=dict)
@@ -51,11 +58,19 @@ class BenchmarkContext:
         """A segmentary engine with its exchange phase already run."""
         if profile not in self._segmentary:
             engine = SegmentaryEngine(
-                self.reduced_mapping(), self.instance(profile).instance
+                self.reduced_mapping(),
+                self.instance(profile).instance,
+                jobs=self.jobs,
+                cache=self.cache,
             )
             engine.exchange()
             self._segmentary[profile] = engine
         return self._segmentary[profile]
+
+    def close(self) -> None:
+        """Shut down any executor worker pools held by warm engines."""
+        for engine in self._segmentary.values():
+            engine.close()
 
     def monolithic_engine(self, profile: str) -> MonolithicEngine:
         """A fresh monolithic engine (no shared state: the monolithic cost

@@ -40,7 +40,7 @@ def _command_answer(arguments) -> int:
     if arguments.method == "monolithic":
         engine = MonolithicEngine(mapping, instance)
     else:
-        engine = SegmentaryEngine(mapping, instance)
+        engine = SegmentaryEngine(mapping, instance, jobs=arguments.jobs)
     started = time.perf_counter()
     if arguments.possible:
         answers = engine.possible_answers(query)
@@ -50,6 +50,15 @@ def _command_answer(arguments) -> int:
         kind = "XR-Certain"
     elapsed = time.perf_counter() - started
     print(f"% {kind} answers ({arguments.method}, {elapsed:.2f}s)")
+    if arguments.method == "segmentary":
+        stats = engine.last_query_stats
+        if stats.programs_solved or stats.cache_hits:
+            print(
+                f"% query phase: {stats.programs_solved} program(s) solved "
+                f"via {stats.executor} executor, {stats.cache_hits} cache "
+                f"hit(s), {stats.solve_seconds:.2f}s solving"
+            )
+        engine.close()
     if not answers:
         print("% (none)")
     for row in sorted(answers, key=repr):
@@ -110,6 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
                         default="segmentary")
     answer.add_argument("--possible", action="store_true",
                         help="brave (XR-Possible) instead of certain answers")
+    answer.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for signature solving "
+                        "(segmentary method only; default 1 = in-process)")
     answer.set_defaults(run=_command_answer)
 
     repairs = commands.add_parser("repairs", help="enumerate XR-solutions")

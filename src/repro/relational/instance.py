@@ -43,6 +43,12 @@ class Fact:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Rebuild through __init__ so _hash is recomputed on unpickle:
+        # str hashes are salted per interpreter, so a pickled hash would be
+        # stale in a spawn-started worker process.
+        return (Fact, (self.relation, self.args))
+
     @property
     def arity(self) -> int:
         return len(self.args)

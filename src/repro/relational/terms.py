@@ -131,6 +131,11 @@ class SkolemValue:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Rebuild through __init__ so _hash is recomputed on unpickle
+        # (str hashes are salted per interpreter; see Fact.__reduce__).
+        return (SkolemValue, (self.function, self.args))
+
     def depth(self) -> int:
         """Nesting depth of this skolem term (a flat term has depth 1)."""
         inner = 0

@@ -1,0 +1,133 @@
+"""Cross-query caching for the segmentary query phase.
+
+Two layers, both exact (never approximate — a hit returns precisely what a
+fresh solve would have returned):
+
+**Signature-program cache.**  Keyed by
+``(signature, encoding, mode, frozenset(query_groundings))`` — the complete
+input of one per-signature program.  A warm engine answering the same query
+again (the pattern of ``run_query_suite`` and the Table 3 suite) hits this
+layer and skips program construction *and* solving.
+
+**Per-cluster decision memo.**  Keyed by ``(signature, encoding, mode)`` →
+``{focus-support structure → accepted?}``.  A candidate's acceptance
+depends only on the repair core of its signature's clusters and on its
+support sets restricted to the focus (safe facts are represented by *true*
+and drop out) — not on the query's name or answer tuple.  Two different
+queries whose candidates project onto the same focus-support structure
+therefore share decisions; the memo is coarser than the program cache and
+hits across queries that are merely structurally similar.  Validity rests
+on cluster independence (Definition 8): query atoms never feed back into
+the repair core, so each candidate is decided independently within its
+signature program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.relational.instance import Fact
+
+#: A candidate's supports restricted to the focus: a set of support sets.
+DecisionKey = frozenset[frozenset[Fact]]
+#: The full input of one signature program.
+ProgramKey = tuple[
+    frozenset[int], str, str, frozenset[tuple[Fact, tuple[Fact, ...]]]
+]
+
+
+def decision_key(
+    supports: Iterable[tuple[Fact, ...]], safe: set[Fact]
+) -> DecisionKey:
+    """The focus-support structure of one candidate (memo key)."""
+    return frozenset(
+        frozenset(fact for fact in support if fact not in safe)
+        for support in supports
+    )
+
+
+def program_key(
+    signature: frozenset[int],
+    encoding: str,
+    mode: str,
+    query_groundings: Iterable[tuple[Fact, tuple[Fact, ...]]],
+) -> ProgramKey:
+    """The cache key of one signature program."""
+    return (signature, encoding, mode, frozenset(query_groundings))
+
+
+@dataclass
+class CacheStats:
+    """Cumulative hit/miss counters (lifetime of the cache object)."""
+
+    program_hits: int = 0
+    program_misses: int = 0
+    decision_hits: int = 0
+    decision_misses: int = 0
+
+
+class SignatureProgramCache:
+    """The two cache layers plus their counters; one per warm engine.
+
+    Entries are valid for the lifetime of one exchange phase: all keys
+    embed the signature (cluster indexes), whose meaning is fixed by the
+    engine's :class:`~repro.xr.envelope.EnvelopeAnalysis`.  Re-running the
+    exchange (a new engine) must start from an empty cache.
+    """
+
+    def __init__(self) -> None:
+        self._programs: dict[ProgramKey, frozenset[Fact]] = {}
+        self._decisions: dict[tuple[frozenset[int], str, str],
+                              dict[DecisionKey, bool]] = {}
+        self.stats = CacheStats()
+
+    # ---------------------------------------------------- program layer
+
+    def lookup_program(self, key: ProgramKey) -> frozenset[Fact] | None:
+        accepted = self._programs.get(key)
+        if accepted is None:
+            self.stats.program_misses += 1
+        else:
+            self.stats.program_hits += 1
+        return accepted
+
+    def store_program(self, key: ProgramKey, accepted: Iterable[Fact]) -> None:
+        self._programs[key] = frozenset(accepted)
+
+    # --------------------------------------------------- decision layer
+
+    def lookup_decision(
+        self,
+        signature: frozenset[int],
+        encoding: str,
+        mode: str,
+        key: DecisionKey,
+    ) -> bool | None:
+        verdict = self._decisions.get((signature, encoding, mode), {}).get(key)
+        if verdict is None:
+            self.stats.decision_misses += 1
+        else:
+            self.stats.decision_hits += 1
+        return verdict
+
+    def store_decision(
+        self,
+        signature: frozenset[int],
+        encoding: str,
+        mode: str,
+        key: DecisionKey,
+        accepted: bool,
+    ) -> None:
+        self._decisions.setdefault((signature, encoding, mode), {})[key] = accepted
+
+    # ------------------------------------------------------------ misc
+
+    def clear(self) -> None:
+        self._programs.clear()
+        self._decisions.clear()
+
+    def __len__(self) -> int:
+        return len(self._programs) + sum(
+            len(entry) for entry in self._decisions.values()
+        )

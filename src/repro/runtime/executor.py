@@ -1,0 +1,232 @@
+"""Solve executors: sequential and process-parallel signature solving.
+
+A :class:`SolveTask` is one self-contained unit of query-phase work — a
+ground program plus the query-atom ids to decide cautiously or bravely.
+Executors take a batch of tasks and return one :class:`SolveOutcome` per
+task, *in task order*.  Because every solve is a pure function of its task
+(the CDCL search is deterministic), sequential and parallel execution are
+answer-identical; only wall-clock time differs.
+
+:class:`ParallelExecutor` dispatches pickled tasks to a
+``ProcessPoolExecutor`` in chunks.  Programs are shipped as
+:class:`PackedProgram` — rules plus the atom-universe size, leaving the
+atom table (whose :class:`~repro.relational.instance.Fact` objects dominate
+pickling cost) behind in the parent; the parent keeps the fact↔id mapping
+and decodes the returned atom ids itself.  When process spawning fails,
+a task does not pickle, or the batch is too small to amortize fork
+overhead, the executor degrades gracefully to in-process execution.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.asp.reasoning import brave_consequences, cautious_consequences
+from repro.asp.stable import StableModelEngine
+from repro.asp.syntax import GroundProgram, GroundRule
+
+#: Below this many tasks a ParallelExecutor runs in-process: forking and
+#: pickling cost more than the solves they would overlap.
+DEFAULT_MIN_BATCH = 2
+
+
+@dataclass(frozen=True)
+class PackedProgram:
+    """A pickling-friendly ground program: rules plus atom-universe size.
+
+    Duck-types the two attributes the stable-model engine reads
+    (``rules`` and ``num_atoms``); the atom table stays in the parent.
+    """
+
+    num_atoms: int
+    rules: tuple[GroundRule, ...]
+
+    @classmethod
+    def pack(cls, program: GroundProgram | "PackedProgram") -> "PackedProgram":
+        if isinstance(program, PackedProgram):
+            return program
+        return cls(num_atoms=program.num_atoms, rules=tuple(program.rules))
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """Decide which of ``query_atom_ids`` hold under ``mode`` in ``program``.
+
+    ``mode`` is ``"certain"`` (cautious: true in every stable model) or
+    ``"possible"`` (brave: true in some stable model).
+    """
+
+    program: PackedProgram
+    query_atom_ids: tuple[int, ...]
+    mode: str = "certain"
+
+
+@dataclass
+class SolveOutcome:
+    """The result of one solve: accepted atom ids plus observability data."""
+
+    decided: frozenset[int] | None  # None: the program has no stable model
+    seconds: float = 0.0
+    solver_stats: dict[str, int] = field(default_factory=dict)
+
+
+def solve_task(task: SolveTask) -> SolveOutcome:
+    """Solve one task in the current process (the worker entry point)."""
+    started = time.perf_counter()
+    engine = StableModelEngine(task.program)
+    reason = (
+        cautious_consequences if task.mode == "certain" else brave_consequences
+    )
+    decided = reason(task.program, task.query_atom_ids, engine=engine)
+    return SolveOutcome(
+        decided=decided,
+        seconds=time.perf_counter() - started,
+        solver_stats=dict(engine.solver.statistics),
+    )
+
+
+def _solve_pickled(payload: bytes) -> SolveOutcome:
+    """Worker entry point for pre-serialized tasks.
+
+    Tasks are pickled in the *parent* (see :meth:`ParallelExecutor.run`):
+    a non-picklable task must fail synchronously there, not inside the
+    pool's queue-feeder thread, where the failure wedges the pool — both
+    ``map`` and a joining ``shutdown`` would then block forever.
+    """
+    return solve_task(pickle.loads(payload))
+
+
+@runtime_checkable
+class SolveExecutor(Protocol):
+    """Anything that can run a batch of solve tasks, preserving order."""
+
+    name: str
+
+    def run(self, tasks: Sequence[SolveTask]) -> list[SolveOutcome]: ...
+
+    def close(self) -> None: ...
+
+
+class SequentialExecutor:
+    """Run every task in the calling process, one after another."""
+
+    name = "sequential"
+
+    def run(self, tasks: Sequence[SolveTask]) -> list[SolveOutcome]:
+        return [solve_task(task) for task in tasks]
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "SequentialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ParallelExecutor:
+    """Fan a batch of tasks out to a process pool, in chunks.
+
+    - ``jobs``: worker-process count (defaults to the CPU count);
+    - ``min_batch``: batches smaller than this run in-process;
+    - ``chunk_size``: tasks per pickled dispatch (default: spread the batch
+      about four chunks per worker, so stragglers rebalance).
+
+    The pool is created lazily on the first large-enough batch and reused
+    across calls.  Any failure to spawn, pickle, or complete falls back to
+    in-process execution for the whole batch — answers never depend on
+    whether parallelism was actually available.  ``last_dispatch`` records
+    how the most recent batch ran (``"parallel"`` or ``"sequential"``).
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        min_batch: int = DEFAULT_MIN_BATCH,
+        chunk_size: int | None = None,
+    ):
+        self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+        self.min_batch = max(1, min_batch)
+        self.chunk_size = chunk_size
+        self.last_dispatch = "none"
+        self._pool: _ProcessPool | None = None
+        self._broken = False
+
+    def _ensure_pool(self) -> _ProcessPool | None:
+        if self._pool is None and not self._broken:
+            try:
+                self._pool = _ProcessPool(max_workers=self.jobs)
+            except (OSError, ValueError, RuntimeError):
+                self._broken = True
+        return self._pool
+
+    def _run_sequential(self, tasks: Sequence[SolveTask]) -> list[SolveOutcome]:
+        self.last_dispatch = "sequential"
+        return [solve_task(task) for task in tasks]
+
+    def run(self, tasks: Sequence[SolveTask]) -> list[SolveOutcome]:
+        tasks = list(tasks)
+        if len(tasks) < self.min_batch or self.jobs <= 1:
+            return self._run_sequential(tasks)
+        try:
+            payloads = [
+                pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+                for task in tasks
+            ]
+        except (pickle.PicklingError, AttributeError, TypeError):
+            # Serialize in the parent so this fails *here*, synchronously.
+            # Handing a non-picklable task to the pool would fail in its
+            # queue-feeder thread instead, wedging the pool for good.
+            return self._run_sequential(tasks)
+        pool = self._ensure_pool()
+        if pool is None:
+            return self._run_sequential(tasks)
+        chunk = self.chunk_size or max(1, len(tasks) // (self.jobs * 4) or 1)
+        try:
+            outcomes = list(pool.map(_solve_pickled, payloads, chunksize=chunk))
+        except (BrokenProcessPool, OSError, RuntimeError):
+            self._abandon_pool()
+            return self._run_sequential(tasks)
+        self.last_dispatch = "parallel"
+        return outcomes
+
+    def _abandon_pool(self) -> None:
+        """Drop a broken pool without joining its possibly-wedged threads."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._broken = True
+
+    def close(self) -> None:
+        if self._pool is not None:
+            # wait=True: a dying pool's queue threads must not survive
+            # into a later fork() — a forked child that inherits their
+            # locks mid-acquisition deadlocks on first use.
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_executor(
+    jobs: int = 1,
+    min_batch: int = DEFAULT_MIN_BATCH,
+    chunk_size: int | None = None,
+) -> SolveExecutor:
+    """``jobs <= 1`` → :class:`SequentialExecutor`; else a parallel one."""
+    if jobs <= 1:
+        return SequentialExecutor()
+    return ParallelExecutor(jobs=jobs, min_batch=min_batch, chunk_size=chunk_size)

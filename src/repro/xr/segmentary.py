@@ -13,6 +13,15 @@ Query answering in two phases:
   group's focus, with safe facts represented by *true*.
 
 Many small hard problems instead of one large one (Theorem 4).
+
+Because distinct clusters are pairwise-independent (Definition 8 /
+Propositions 5–6), the per-signature programs are too: the query phase
+*builds* all of them first, then dispatches the batch through a pluggable
+:mod:`repro.runtime` executor — sequentially by default, or across a
+process pool with ``jobs > 1``.  A cross-query cache
+(:class:`~repro.runtime.SignatureProgramCache`) makes repeated queries
+over a warm engine skip redundant solving entirely.  Parallel and
+sequential execution, cached and uncached, return identical answers.
 """
 
 from __future__ import annotations
@@ -20,20 +29,32 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.asp.reasoning import brave_consequences, cautious_consequences
+from repro.asp.syntax import AtomTable, GroundProgram
 from repro.dependencies.mapping import SchemaMapping
 from repro.reduction.reduce import ReducedMapping, reduce_mapping
 from repro.relational.instance import Fact, Instance
 from repro.relational.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.runtime.cache import SignatureProgramCache, decision_key, program_key
+from repro.runtime.executor import (
+    PackedProgram,
+    SolveExecutor,
+    SolveTask,
+    make_executor,
+)
 from repro.xr.envelope import EnvelopeAnalysis, analyze_envelopes
 from repro.xr.exchange import ExchangeData, build_exchange_data
-from repro.xr.program import build_xr_program
+from repro.xr.program import XRProgram, build_xr_program
 from repro.xr.queries import answers_from_facts, ground_query
 
 
 @dataclass
 class QueryPhaseStats:
-    """Diagnostics from the last :meth:`SegmentaryEngine.answer` call."""
+    """Diagnostics from one :meth:`SegmentaryEngine.answer` call.
+
+    Built locally during the call and published to
+    ``engine.last_query_stats`` in a single assignment at the end, so
+    concurrent readers never observe a half-filled object.
+    """
 
     candidates: int = 0
     safe_candidates: int = 0
@@ -41,6 +62,21 @@ class QueryPhaseStats:
     programs_solved: int = 0
     largest_program_atoms: int = 0
     total_rules: int = 0
+    # Wall-clock: the whole query phase, the solve portion, and each
+    # dispatched program individually (executor order).
+    seconds: float = 0.0
+    solve_seconds: float = 0.0
+    program_seconds: list[float] = field(default_factory=list)
+    # Cache observability: program-level hits/misses and per-candidate
+    # decision-memo hits/misses, for this query only.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    # Which executor ran the batch, and the SatSolver statistics summed
+    # over every program solved by this call.
+    executor: str = "sequential"
+    solver_stats: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -57,6 +93,27 @@ class ExchangePhaseStats:
     safe_source_facts: int = 0
 
 
+# A shared empty program for groups fully decided by the caches.
+_EMPTY_PROGRAM = GroundProgram(AtomTable())
+
+
+@dataclass
+class _SignatureGroup:
+    """One signature group's work unit in the query phase."""
+
+    key: tuple
+    signature: frozenset[int]
+    xr_program: XRProgram
+    # Candidate -> decision-memo key, for the candidates the solver decides.
+    decision_keys: dict[Fact, frozenset]
+    # Query atoms actually sent to the solver (trivially-certain ones are
+    # accepted up front and excluded from the solve set).
+    solve_atoms: dict[Fact, int]
+    # Group candidates already accepted before solving: program-cache hits,
+    # memo hits, trivially-certain candidates.
+    accepted_so_far: set[Fact]
+
+
 class SegmentaryEngine:
     """XR-Certain query answering with an exchange phase and per-signature
     query programs.
@@ -64,6 +121,17 @@ class SegmentaryEngine:
     Accepts any ``glav+(wa-glav, egd)`` mapping (reduced internally).  Call
     :meth:`exchange` once (or let the first :meth:`answer` trigger it), then
     answer any number of queries against the materialized exchange state.
+
+    Runtime knobs (all answer-neutral — they change wall-clock time only):
+
+    - ``jobs``: worker processes for signature solving (1 = in-process);
+    - ``executor``: a pre-built :class:`~repro.runtime.SolveExecutor`
+      overriding ``jobs`` (e.g. a shared pool);
+    - ``cache``: ``True`` (default) for a private cross-query cache, a
+      :class:`~repro.runtime.SignatureProgramCache` instance to share one,
+      or ``False`` to disable caching;
+    - ``parallel_threshold``: batches smaller than this solve in-process
+      even when ``jobs > 1``.
     """
 
     def __init__(
@@ -71,6 +139,10 @@ class SegmentaryEngine:
         mapping: SchemaMapping | ReducedMapping,
         instance: Instance,
         encoding: str = "repair",
+        jobs: int = 1,
+        executor: SolveExecutor | None = None,
+        cache: bool | SignatureProgramCache = True,
+        parallel_threshold: int = 2,
     ):
         if isinstance(mapping, ReducedMapping):
             self.reduced = mapping
@@ -78,10 +150,25 @@ class SegmentaryEngine:
             self.reduced = reduce_mapping(mapping)
         self.instance = instance
         self.encoding = encoding
+        self.jobs = jobs
+        if executor is not None:
+            self.executor = executor
+        else:
+            self.executor = make_executor(jobs, min_batch=parallel_threshold)
+        if cache is True:
+            self.cache: SignatureProgramCache | None = SignatureProgramCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
         self.data: ExchangeData | None = None
         self.analysis: EnvelopeAnalysis | None = None
         self.exchange_stats = ExchangePhaseStats()
         self.last_query_stats = QueryPhaseStats()
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, if any)."""
+        self.executor.close()
 
     # ------------------------------------------------------ exchange phase
 
@@ -110,7 +197,8 @@ class SegmentaryEngine:
         self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
     ) -> set[tuple]:
         """The XR-Certain answers to ``query`` (a set of constant tuples)."""
-        return self._answer(query, mode="certain")
+        answers, _stats = self.answer_with_stats(query, mode="certain")
+        return answers
 
     def possible_answers(
         self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
@@ -122,17 +210,25 @@ class SegmentaryEngine:
         iff it holds in some combination of repairs of its signature's
         clusters, i.e. iff its signature program answers bravely.
         """
-        return self._answer(query, mode="possible")
+        answers, _stats = self.answer_with_stats(query, mode="possible")
+        return answers
 
-    def _answer(
+    def answer_with_stats(
         self,
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
-        mode: str,
-    ) -> set[tuple]:
+        mode: str = "certain",
+    ) -> tuple[set[tuple], QueryPhaseStats]:
+        """Answer ``query`` and return ``(answers, stats)``.
+
+        The stats object is freshly built per call (and also published as
+        ``self.last_query_stats``); callers holding it never see it mutate
+        under a later query.
+        """
         self.exchange()
         assert self.data is not None and self.analysis is not None
+        started = time.perf_counter()
         data, analysis = self.data, self.analysis
-        stats = QueryPhaseStats()
+        stats = QueryPhaseStats(executor=self.executor.name)
 
         rewritten = self.reduced.rewrite(query)
         groundings = ground_query(rewritten, data.chased)
@@ -165,46 +261,196 @@ class SegmentaryEngine:
         stats.signatures = len(by_signature)
 
         safe_facts = set(analysis.safe_chased)
-        for signature, candidates in by_signature.items():
-            clusters = [analysis.clusters[index] for index in signature]
-            focus: set[Fact] = set()
-            violations = []
-            for cluster in clusters:
-                focus |= cluster.influence
-                violations.extend(cluster.violations)
-            focus -= safe_facts
-            query_groundings = [
-                (candidate, support)
-                for candidate in candidates
-                for support in supports_by_candidate[candidate]
-            ]
-            xr_program = build_xr_program(
-                data,
-                query_groundings=query_groundings,
-                focus=focus,
-                safe=safe_facts,
-                violations=violations,
-                encoding=self.encoding,
-            )
-            stats.programs_solved += 1
-            stats.largest_program_atoms = max(
-                stats.largest_program_atoms, xr_program.program.num_atoms
-            )
-            stats.total_rules += len(xr_program.program)
-            if not xr_program.query_atoms:
-                continue
-            reason = (
-                cautious_consequences if mode == "certain" else brave_consequences
-            )
-            decided = reason(xr_program.program, xr_program.query_atoms.values())
-            if decided is None:
-                raise RuntimeError("a signature program has no stable model")
-            accepted |= {
-                fact
-                for fact, atom_id in xr_program.query_atoms.items()
-                if atom_id in decided
-            }
-            accepted |= xr_program.trivially_certain
 
+        # Build every still-undecided signature program first, then solve
+        # the whole batch through the executor (the programs are pairwise
+        # independent, so any execution order or interleaving is valid).
+        pending: list[_SignatureGroup] = []
+        tasks: list[SolveTask] = []
+        for signature, candidates in by_signature.items():
+            group = self._resolve_group(
+                signature, candidates, supports_by_candidate,
+                safe_facts, mode, stats,
+            )
+            accepted |= group.accepted_so_far
+            # Trivially-certain candidates are folded in *before* any
+            # query_atoms guard: even if `_emit_query_rules`'s invariant
+            # (trivially_certain ⊆ query_atoms) ever loosens, they can
+            # never be dropped.
+            accepted |= group.xr_program.trivially_certain
+            if group.solve_atoms:
+                pending.append(group)
+                tasks.append(
+                    SolveTask(
+                        program=PackedProgram.pack(group.xr_program.program),
+                        query_atom_ids=tuple(sorted(group.solve_atoms.values())),
+                        mode=mode,
+                    )
+                )
+            else:
+                self._finalize_group(group, set(), mode)
+
+        if tasks:
+            outcomes = self.executor.run(tasks)
+            for group, outcome in zip(pending, outcomes):
+                if outcome.decided is None:
+                    raise RuntimeError("a signature program has no stable model")
+                stats.programs_solved += 1
+                stats.program_seconds.append(outcome.seconds)
+                stats.solve_seconds += outcome.seconds
+                for key, value in outcome.solver_stats.items():
+                    stats.solver_stats[key] = (
+                        stats.solver_stats.get(key, 0) + value
+                    )
+                newly = {
+                    fact
+                    for fact, atom_id in group.solve_atoms.items()
+                    if atom_id in outcome.decided
+                }
+                accepted |= newly
+                self._finalize_group(group, newly, mode)
+
+        stats.seconds = time.perf_counter() - started
+        # Single-assignment publication: the shared attribute is never
+        # mutated in place while a query phase is running.
         self.last_query_stats = stats
-        return answers_from_facts(accepted)
+        return answers_from_facts(accepted), stats
+
+    # Backwards-compatible internal entry point.
+    def _answer(
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        mode: str,
+    ) -> set[tuple]:
+        answers, _stats = self.answer_with_stats(query, mode=mode)
+        return answers
+
+    # ------------------------------------------------------------ helpers
+
+    def _resolve_group(
+        self,
+        signature: frozenset[int],
+        candidates: list[Fact],
+        supports_by_candidate: dict[Fact, list[tuple[Fact, ...]]],
+        safe_facts: set[Fact],
+        mode: str,
+        stats: QueryPhaseStats,
+    ) -> _SignatureGroup:
+        """Decide a signature group from the caches, or build its program.
+
+        A group answered entirely from the cache comes back with an empty
+        ``solve_atoms`` and its accepted candidates in ``accepted_so_far``;
+        otherwise the built program rides along for the executor batch.
+        """
+        assert self.analysis is not None and self.data is not None
+        analysis, data = self.analysis, self.data
+
+        group_groundings = [
+            (candidate, support)
+            for candidate in candidates
+            for support in supports_by_candidate[candidate]
+        ]
+        key = program_key(signature, self.encoding, mode, group_groundings)
+
+        if self.cache is not None:
+            cached = self.cache.lookup_program(key)
+            if cached is not None:
+                stats.cache_hits += 1
+                return _SignatureGroup(
+                    key=key,
+                    signature=signature,
+                    xr_program=XRProgram(program=_EMPTY_PROGRAM),
+                    decision_keys={},
+                    solve_atoms={},
+                    accepted_so_far=set(cached),
+                )
+            stats.cache_misses += 1
+
+        # Per-candidate decision memo: coarser than the program cache —
+        # it ignores the query's name and answer tuple, so structurally
+        # identical candidates from *different* queries share verdicts.
+        unresolved: list[Fact] = []
+        group_accept: set[Fact] = set()
+        decision_keys: dict[Fact, frozenset] = {}
+        for candidate in candidates:
+            memo_key = decision_key(supports_by_candidate[candidate], safe_facts)
+            decision_keys[candidate] = memo_key
+            verdict = None
+            if self.cache is not None:
+                verdict = self.cache.lookup_decision(
+                    signature, self.encoding, mode, memo_key
+                )
+            if verdict is None:
+                stats.memo_misses += 1
+                unresolved.append(candidate)
+            else:
+                stats.memo_hits += 1
+                if verdict:
+                    group_accept.add(candidate)
+
+        if not unresolved:
+            return _SignatureGroup(
+                key=key,
+                signature=signature,
+                xr_program=XRProgram(program=_EMPTY_PROGRAM),
+                decision_keys={},
+                solve_atoms={},
+                accepted_so_far=group_accept,
+            )
+
+        clusters = [analysis.clusters[index] for index in signature]
+        focus: set[Fact] = set()
+        violations = []
+        for cluster in clusters:
+            focus |= cluster.influence
+            violations.extend(cluster.violations)
+        focus -= safe_facts
+        query_groundings = [
+            (candidate, support)
+            for candidate in unresolved
+            for support in supports_by_candidate[candidate]
+        ]
+        xr_program = build_xr_program(
+            data,
+            query_groundings=query_groundings,
+            focus=focus,
+            safe=safe_facts,
+            violations=violations,
+            encoding=self.encoding,
+        )
+        stats.largest_program_atoms = max(
+            stats.largest_program_atoms, xr_program.program.num_atoms
+        )
+        stats.total_rules += len(xr_program.program)
+
+        solve_atoms = {
+            fact: atom_id
+            for fact, atom_id in xr_program.query_atoms.items()
+            if fact not in xr_program.trivially_certain
+        }
+        return _SignatureGroup(
+            key=key,
+            signature=signature,
+            xr_program=xr_program,
+            decision_keys={c: decision_keys[c] for c in unresolved},
+            solve_atoms=solve_atoms,
+            accepted_so_far=group_accept,
+        )
+
+    def _finalize_group(
+        self, group: _SignatureGroup, solver_accepted: set[Fact], mode: str
+    ) -> None:
+        """Record cache entries once a group's verdicts are complete."""
+        if self.cache is None:
+            return
+        accepted = (
+            group.accepted_so_far
+            | solver_accepted
+            | group.xr_program.trivially_certain
+        )
+        for candidate, memo_key in group.decision_keys.items():
+            self.cache.store_decision(
+                group.signature, self.encoding, mode, memo_key,
+                candidate in accepted,
+            )
+        self.cache.store_program(group.key, accepted)

@@ -166,3 +166,74 @@ def test_random_formulas_match_brute_force(data):
     assert result == brute_force_sat(num_vars, clauses)
     if result:
         assert model_satisfies(solver.model(), clauses)
+
+
+def pigeonhole(pigeons, holes):
+    """PHP(p, h) clauses over vars v(i, j) = (i-1)*holes + j; UNSAT if p > h."""
+    def v(i, j):
+        return (i - 1) * holes + j
+
+    clauses = [[v(i, j) for j in range(1, holes + 1)] for i in range(1, pigeons + 1)]
+    for j in range(1, holes + 1):
+        for i in range(1, pigeons + 1):
+            for k in range(i + 1, pigeons + 1):
+                clauses.append([-v(i, j), -v(k, j)])
+    return pigeons * holes, clauses
+
+
+class TestDecisionHeap:
+    """The lazy VSIDS heap must repopulate itself when staleness exhausts it,
+    not fall back to a per-decision linear scan."""
+
+    def test_exhausted_heap_is_rebuilt(self):
+        solver = SatSolver(8)
+        solver.activity[5] = 3.0
+        solver.activity[2] = 1.0
+        solver._order.clear()  # every heap entry gone stale
+        assert abs(solver._decide()) == 5  # still picks max activity
+        # The rebuild reinstated the other unassigned variables, so the
+        # next decision is an ordinary heap pop.
+        assert len(solver._order) == 7
+        assert abs(solver._decide()) == 2
+
+    def test_all_stale_entries_trigger_rebuild(self):
+        solver = SatSolver(4)
+        solver.activity[3] = 2.0
+        solver._order = [(0.0, 3)]  # outdated activity: discarded on pop
+        assert abs(solver._decide()) == 3
+        assert solver._order  # repopulated, not left empty
+
+    def test_rebuild_with_everything_assigned_returns_zero(self):
+        solver = SatSolver(2)
+        solver.add_clause([1])
+        solver.add_clause([2])
+        assert solver.solve()
+        solver._order.clear()
+        assert solver._decide() == 0
+
+    def test_restart_heavy_unsat_instance(self):
+        num_vars, clauses = pigeonhole(6, 5)
+        solver = SatSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert not solver.solve()
+        # PHP(6,5) needs enough conflicts to cross the first Luby restart
+        # budget, so the restart path (mass backtracking, heap churn) ran.
+        assert solver._conflicts_total > 64
+
+    def test_solve_correct_after_manual_heap_exhaustion(self):
+        rng = random.Random(7)
+        num_vars = 12
+        clauses = [
+            [rng.choice([-1, 1]) * v for v in rng.sample(range(1, num_vars + 1), 3)]
+            for _ in range(40)
+        ]
+        expected = brute_force_sat(num_vars, clauses)
+        solver = SatSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        solver._order.clear()  # start from a fully stale heap
+        result = solver.solve()
+        assert result == expected
+        if result:
+            assert model_satisfies(solver.model(), clauses)

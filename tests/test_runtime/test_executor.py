@@ -1,0 +1,154 @@
+"""Tests for the solve executors (sequential, process-parallel, fallbacks)."""
+
+import pickle
+
+from repro.asp.syntax import AtomTable, GroundProgram, GroundRule
+from repro.relational import Fact, SkolemValue
+from repro.runtime import (
+    PackedProgram,
+    ParallelExecutor,
+    SequentialExecutor,
+    SolveTask,
+    make_executor,
+    solve_task,
+)
+
+
+def chain_program(length: int) -> GroundProgram:
+    """a1. a2 :- a1. ... — every atom cautiously true."""
+    program = GroundProgram(AtomTable())
+    for index in range(length):
+        program.atoms.intern(Fact("a", (index,)))
+    program.add_rule(GroundRule(head=(1,)))
+    for atom in range(2, length + 1):
+        program.add_rule(GroundRule(head=(atom,), body_pos=(atom - 1,)))
+    return program
+
+
+def guess_program() -> GroundProgram:
+    """a1 ∨ a2. — neither cautious, both brave."""
+    program = GroundProgram(AtomTable())
+    program.atoms.intern(Fact("a", (1,)))
+    program.atoms.intern(Fact("a", (2,)))
+    program.add_rule(GroundRule(head=(1, 2)))
+    return program
+
+
+def a_batch() -> list[SolveTask]:
+    tasks = [
+        SolveTask(PackedProgram.pack(chain_program(n)), tuple(range(1, n + 1)))
+        for n in (2, 3, 4)
+    ]
+    tasks.append(SolveTask(PackedProgram.pack(guess_program()), (1, 2), "certain"))
+    tasks.append(SolveTask(PackedProgram.pack(guess_program()), (1, 2), "possible"))
+    return tasks
+
+
+EXPECTED = [
+    frozenset({1, 2}),
+    frozenset({1, 2, 3}),
+    frozenset({1, 2, 3, 4}),
+    frozenset(),          # disjunctive guess: nothing cautious
+    frozenset({1, 2}),    # ... but everything brave
+]
+
+
+class TestSolveTask:
+    def test_outcome_fields(self):
+        outcome = solve_task(a_batch()[0])
+        assert outcome.decided == EXPECTED[0]
+        assert outcome.seconds >= 0
+        assert "conflicts" in outcome.solver_stats
+        assert outcome.solver_stats["vars"] >= 2
+
+    def test_packed_program_is_idempotent(self):
+        packed = PackedProgram.pack(chain_program(2))
+        assert PackedProgram.pack(packed) is packed
+
+    def test_packed_program_pickles_without_atom_table(self):
+        packed = PackedProgram.pack(chain_program(3))
+        clone = pickle.loads(pickle.dumps(packed))
+        assert clone.num_atoms == 3
+        assert clone.rules == packed.rules
+
+
+class TestSequentialExecutor:
+    def test_order_preserving(self):
+        outcomes = SequentialExecutor().run(a_batch())
+        assert [o.decided for o in outcomes] == EXPECTED
+
+
+class TestParallelExecutor:
+    def test_matches_sequential(self):
+        with ParallelExecutor(jobs=2, min_batch=1) as executor:
+            outcomes = executor.run(a_batch())
+            assert executor.last_dispatch == "parallel"
+        assert [o.decided for o in outcomes] == EXPECTED
+
+    def test_small_batch_runs_in_process(self):
+        with ParallelExecutor(jobs=2, min_batch=10) as executor:
+            outcomes = executor.run(a_batch()[:3])
+            assert executor.last_dispatch == "sequential"
+            assert [o.decided for o in outcomes] == EXPECTED[:3]
+            assert executor._pool is None  # never even forked
+
+    def test_jobs_of_one_runs_in_process(self):
+        with ParallelExecutor(jobs=1, min_batch=1) as executor:
+            executor.run(a_batch())
+            assert executor.last_dispatch == "sequential"
+
+    def test_falls_back_when_pool_cannot_spawn(self, monkeypatch):
+        executor = ParallelExecutor(jobs=2, min_batch=1)
+        monkeypatch.setattr(executor, "_ensure_pool", lambda: None)
+        outcomes = executor.run(a_batch())
+        assert executor.last_dispatch == "sequential"
+        assert [o.decided for o in outcomes] == EXPECTED
+
+    def test_falls_back_on_unpicklable_task(self):
+        class LocalProgram:  # local classes cannot be pickled
+            num_atoms = 1
+            rules = (GroundRule(head=(1,)),)
+
+        tasks = [SolveTask(LocalProgram(), (1,), "certain") for _ in range(4)]
+        with ParallelExecutor(jobs=2, min_batch=1) as executor:
+            outcomes = executor.run(tasks)
+            assert executor.last_dispatch == "sequential"
+        assert all(o.decided == frozenset({1}) for o in outcomes)
+
+    def test_reusable_across_batches(self):
+        with ParallelExecutor(jobs=2, min_batch=1) as executor:
+            first = executor.run(a_batch())
+            second = executor.run(a_batch())
+        assert [o.decided for o in first] == [o.decided for o in second]
+
+
+class TestMakeExecutor:
+    def test_dispatch_on_jobs(self):
+        assert isinstance(make_executor(1), SequentialExecutor)
+        parallel = make_executor(3)
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.jobs == 3
+        parallel.close()
+
+
+class TestSpawnSafePickling:
+    """Values embed their hash; unpickling must recompute it, because str
+    hashes are salted per interpreter (spawn-started workers differ)."""
+
+    def test_fact_roundtrip(self):
+        fact = Fact("R", ("a", 1, SkolemValue("f", ("x",))))
+        clone = pickle.loads(pickle.dumps(fact))
+        assert clone == fact
+        assert hash(clone) == hash(fact)
+        assert clone in {fact}
+
+    def test_skolem_roundtrip(self):
+        value = SkolemValue("f", ("a", SkolemValue("g", (1,))))
+        clone = pickle.loads(pickle.dumps(value))
+        assert clone == value
+        assert clone in {value}
+
+    def test_fact_hash_recomputed_not_copied(self):
+        fact = Fact("R", ("a",))
+        payload = fact.__reduce__()
+        assert payload == (Fact, ("R", ("a",)))  # no baked-in _hash

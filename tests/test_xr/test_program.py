@@ -125,3 +125,37 @@ class TestDispatch:
         assert build_xr_program(data, encoding="figure1").program is not None
         with pytest.raises(ValueError):
             build_xr_program(data, encoding="nope")
+
+
+class TestQueryAtomInvariants:
+    """Pins the contract the segmentary engine's hoisted trivially-certain
+    acceptance relies on: every trivially-certain candidate also appears in
+    ``query_atoms`` (it is registered first, then classified)."""
+
+    def groundings(self):
+        candidate = f("__q_q", ("a",))
+        return candidate, [
+            (candidate, (f("P", "a", "b"),)),
+            (candidate, (f("P", "a", "c"),)),
+        ]
+
+    @pytest.mark.parametrize("encoding", ["repair", "figure1"])
+    def test_trivially_certain_subset_of_query_atoms(self, encoding):
+        data = key_data([f("R", "a", "b"), f("R", "a", "c")])
+        _, groundings = self.groundings()
+        xr = build_xr_program(data, query_groundings=groundings, encoding=encoding)
+        assert xr.trivially_certain <= set(xr.query_atoms)
+
+    def test_safe_support_registered_and_trivially_certain(self):
+        data = key_data([f("R", "a", "b")])
+        candidate = f("__q_q", ("a",))
+        xr = build_repair_program(
+            data,
+            query_groundings=[(candidate, (f("P", "a", "b"),))],
+            focus=set(),
+            safe=set(data.chased),
+        )
+        # Both registrations happen: the atom exists AND is classified.
+        assert candidate in xr.query_atoms
+        assert candidate in xr.trivially_certain
+        assert xr.trivially_certain <= set(xr.query_atoms)
