@@ -6,11 +6,13 @@ source instance, and queries — without writing any Python::
     python -m repro answer  -m mapping.txt -d data.txt -q "q(x) :- T(x, y)."
     python -m repro repairs -m mapping.txt -d data.txt --limit 5
     python -m repro check   -m mapping.txt -d data.txt
+    python -m repro fuzz    --seeds 200 --shrink
 
 ``answer`` prints the XR-Certain answers (or XR-Possible with
 ``--possible``); ``repairs`` enumerates exchange-repair solutions;
 ``check`` runs the exchange phase and reports violations, clusters, and the
-suspect/safe split.
+suspect/safe split; ``fuzz`` runs a differential campaign across every
+engine configuration and exits non-zero on any disagreement.
 """
 
 from __future__ import annotations
@@ -97,6 +99,41 @@ def _command_check(arguments) -> int:
     return 0
 
 
+def _command_fuzz(arguments) -> int:
+    from dataclasses import replace
+
+    from repro.fuzz import DEFAULT_CONFIG, close_shared_executor, run_fuzz
+
+    config = replace(
+        DEFAULT_CONFIG,
+        profile=arguments.profile,
+        max_facts=arguments.max_facts,
+        conflict_rate=arguments.conflict_rate,
+        use_oracle=not arguments.no_oracle,
+        check_parallel=not arguments.no_parallel,
+    )
+    summary = run_fuzz(
+        seeds=arguments.seeds,
+        start=arguments.start,
+        config=config,
+        jobs=arguments.jobs,
+        shrink=arguments.shrink,
+        corpus_dir=arguments.corpus,
+        log=print,
+    )
+    close_shared_executor()
+    print(
+        f"% {summary.seeds} seed(s) from {summary.start} "
+        f"({config.profile}), {summary.seconds:.1f}s, "
+        f"{len(summary.failures)} failure(s)"
+    )
+    for failure in summary.failures:
+        print(f"%% seed {failure.seed}: " + "; ".join(failure.discrepancies))
+        text = failure.shrunk_text or failure.scenario_text
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0 if summary.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -132,6 +169,32 @@ def build_parser() -> argparse.ArgumentParser:
     check = commands.add_parser("check", help="exchange-phase consistency report")
     common(check)
     check.set_defaults(run=_command_check)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="differential fuzzing across all engine configurations"
+    )
+    fuzz.add_argument("--seeds", type=int, default=100, metavar="N",
+                      help="number of consecutive seeds to run (default 100)")
+    fuzz.add_argument("--start", type=int, default=0, metavar="SEED",
+                      help="first seed (default 0)")
+    fuzz.add_argument("--profile", choices=("mixed", "freeform", "ibench"),
+                      default="mixed", help="scenario generator profile")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for the campaign (default 1)")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="delta-debug failures down to minimal repros")
+    fuzz.add_argument("--corpus", metavar="DIR",
+                      help="write failing repros into DIR for replay")
+    fuzz.add_argument("--max-facts", type=int, default=8, metavar="N",
+                      help="max source facts per scenario (default 8)")
+    fuzz.add_argument("--conflict-rate", type=float, default=0.6,
+                      metavar="RATE", help="constant-collision bias in [0, 1] "
+                      "(higher = more egd conflicts; default 0.6)")
+    fuzz.add_argument("--no-oracle", action="store_true",
+                      help="skip the Definition 1 oracle (faster, weaker)")
+    fuzz.add_argument("--no-parallel", action="store_true",
+                      help="skip the parallel-executor engine axis")
+    fuzz.set_defaults(run=_command_fuzz)
     return parser
 
 

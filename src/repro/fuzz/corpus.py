@@ -1,0 +1,135 @@
+"""The replayable regression corpus.
+
+A corpus is a directory of ``*.repro`` files, each one a serialized
+:class:`~repro.fuzz.render.Scenario` (see :mod:`repro.fuzz.render` for the
+format).  The checked-in corpus under ``tests/corpus/`` is loaded by the
+tier-1 test suite and replayed through the full differential matrix; the
+fuzzer appends newly shrunken repros to whatever directory ``--corpus``
+names.
+
+:func:`build_default_corpus` regenerates the seeded part of the checked-in
+corpus — the historical regression seeds of ``test_property.py`` (via the
+frozen :mod:`repro.fuzz.xval` generator), the Figure 1 errata scenario of
+DESIGN §7, and one sample per fuzzing profile — so a test can verify the
+committed files' provenance byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.fuzz.differential import DifferentialReport, run_differential
+from repro.fuzz.generator import DEFAULT_CONFIG, FuzzConfig, random_scenario
+from repro.fuzz.render import Scenario, parse_scenario, render_scenario
+from repro.fuzz.xval import xval_scenario
+from repro.parser import parse_mapping, parse_program
+from repro.relational.instance import Fact, Instance
+
+REPRO_SUFFIX = ".repro"
+
+#: The regression seeds of ``tests/test_xr/test_property.py`` — scenarios
+#: that exposed real bugs during development; kept replayable forever.
+XVAL_REGRESSION_SEEDS = (0, 7, 19, 42, 123, 271)
+
+#: Seeds serialized as per-profile generator samples (corpus coverage of
+#: the freeform and ibench shapes, independent of generator drift).
+SAMPLE_SEEDS = {"freeform": (1, 11), "ibench": (3,)}
+
+
+def scenario_digest(scenario: Scenario) -> str:
+    """A short content hash of the canonical serialization."""
+    text = render_scenario(scenario)
+    return hashlib.sha256(text.encode()).hexdigest()[:10]
+
+
+def save_repro(
+    scenario: Scenario, directory: str | Path, name: str | None = None
+) -> Path:
+    """Serialize ``scenario`` into ``directory`` and return the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = name if name is not None else f"repro-{scenario_digest(scenario)}"
+    path = directory / f"{stem}{REPRO_SUFFIX}"
+    path.write_text(render_scenario(scenario))
+    return path
+
+
+def load_repro(path: str | Path) -> Scenario:
+    return parse_scenario(Path(path).read_text())
+
+
+def load_corpus(directory: str | Path) -> list[tuple[Path, Scenario]]:
+    """Every ``*.repro`` under ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        (path, load_repro(path))
+        for path in sorted(directory.glob(f"*{REPRO_SUFFIX}"))
+    ]
+
+
+def replay(
+    scenario: Scenario, config: FuzzConfig = DEFAULT_CONFIG
+) -> DifferentialReport:
+    """Run one corpus scenario through the differential matrix."""
+    return run_differential(scenario, config)
+
+
+def replay_corpus(
+    directory: str | Path, config: FuzzConfig = DEFAULT_CONFIG
+) -> list[tuple[Path, DifferentialReport]]:
+    return [
+        (path, replay(scenario, config))
+        for path, scenario in load_corpus(directory)
+    ]
+
+
+# ------------------------------------------------- the checked-in corpus
+
+
+def _figure1_errata_scenario() -> Scenario:
+    """The DESIGN §7 scenario on which the literal Figure 1 encoding
+    over-approximates XR-Certain (two repairs, empty certain answer)."""
+    mapping = parse_mapping(
+        """
+        SOURCE R/2, S/2. TARGET U/2, T/2.
+        R(x, y), R(z, x) -> U(y, z).
+        R(x, x) -> T(x, x).
+        R(x, z), S(x, z) -> U(z, z).
+        U(y, x) -> U(x, x).
+        U(x, u), T(x, z) -> z = u.
+        """
+    )
+    instance = Instance(
+        [
+            Fact("R", ("b", "c")),
+            Fact("R", ("c", "c")),
+            Fact("S", ("b", "a")),
+            Fact("S", ("c", "c")),
+        ]
+    )
+    query = parse_program("q() :- U(y, z), U(x, x).")
+    return Scenario(mapping, instance, query, label="figure1 errata (DESIGN §7)")
+
+
+def default_corpus_entries() -> dict[str, Scenario]:
+    """Name → scenario for the regenerable part of ``tests/corpus/``."""
+    entries: dict[str, Scenario] = {}
+    for seed in XVAL_REGRESSION_SEEDS:
+        entries[f"xval-seed-{seed:04d}"] = xval_scenario(seed)
+    entries["figure1-errata"] = _figure1_errata_scenario()
+    for profile, seeds in SAMPLE_SEEDS.items():
+        config = FuzzConfig(profile=profile)
+        for seed in seeds:
+            entries[f"{profile}-seed-{seed:04d}"] = random_scenario(seed, config)
+    return entries
+
+
+def build_default_corpus(directory: str | Path) -> list[Path]:
+    """Write the regenerable corpus entries into ``directory``."""
+    return [
+        save_repro(scenario, directory, name=name)
+        for name, scenario in sorted(default_corpus_entries().items())
+    ]

@@ -1,0 +1,263 @@
+"""Scenario objects and their serialization into the parser's text syntax.
+
+A :class:`Scenario` bundles the three inputs of a differential run — a
+schema mapping, a source instance, and a (U)CQ — and round-trips through
+the text syntax of :mod:`repro.parser`:
+
+- :func:`render_mapping` / :func:`render_instance` / :func:`render_query`
+  emit exactly the syntax ``parse_mapping`` / ``parse_instance`` /
+  ``parse_program`` accept, so a shrunken repro is directly usable with
+  ``python -m repro answer -m ... -d ... -q ...``;
+- :func:`render_scenario` / :func:`parse_scenario` combine the three
+  sections into one ``.repro`` file, separated by comment markers the
+  lexer already skips.
+
+Rendering is canonical (facts sorted, no labels), so two structurally
+equal scenarios produce byte-identical text — the property the corpus
+dedup and the round-trip tests rely on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Any, Union
+
+from repro.dependencies.egds import EGD
+from repro.dependencies.mapping import SchemaMapping
+from repro.dependencies.tgds import TGD
+from repro.parser import parse_instance, parse_mapping, parse_program
+from repro.relational.instance import Fact, Instance
+from repro.relational.queries import (
+    Atom,
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+)
+from repro.relational.terms import Const, Variable
+
+Query = Union[ConjunctiveQuery, UnionOfConjunctiveQueries]
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+_NUMBER = re.compile(r"-?\d+(\.\d+)?\Z")
+_RESERVED = {"SOURCE", "TARGET"}
+
+MAPPING_MARKER = "% --- mapping ---"
+DATA_MARKER = "% --- data ---"
+QUERY_MARKER = "% --- query ---"
+
+
+class RenderError(ValueError):
+    """Raised when an object cannot be expressed in the text syntax."""
+
+
+# ------------------------------------------------------------------ terms
+
+
+def _check_ident(name: str, role: str) -> str:
+    if not _IDENT.match(name) or name in _RESERVED or name == "_":
+        raise RenderError(f"{role} {name!r} is not a renderable identifier")
+    return name
+
+
+def render_value(value: Any) -> str:
+    """A constant value as instance-file syntax (quoted string or number)."""
+    if isinstance(value, bool):
+        raise RenderError(f"boolean constant {value!r} has no text syntax")
+    if isinstance(value, (int, float)):
+        text = repr(value)
+        if not _NUMBER.match(text):
+            raise RenderError(f"numeric constant {value!r} has no text syntax")
+        return text
+    if isinstance(value, str):
+        if "\\" in value or "\n" in value:
+            raise RenderError(f"string constant {value!r} has no text syntax")
+        return "'" + value.replace("'", "\\'") + "'"
+    raise RenderError(f"value {value!r} is not a renderable constant")
+
+
+def render_term(term: Any) -> str:
+    """A dependency/query term: a variable name or a constant literal."""
+    if isinstance(term, Variable):
+        return _check_ident(term.name, "variable")
+    if isinstance(term, Const):
+        return render_value(term.value)
+    raise RenderError(f"term {term!r} has no text syntax (skolem term?)")
+
+
+def render_atom(atom: Atom) -> str:
+    _check_ident(atom.relation, "relation")
+    return f"{atom.relation}({', '.join(render_term(t) for t in atom.terms)})"
+
+
+# ---------------------------------------------------------- dependencies
+
+
+def render_tgd(tgd: TGD) -> str:
+    body = ", ".join(render_atom(a) for a in tgd.body)
+    head = ", ".join(render_atom(a) for a in tgd.head)
+    return f"{body} -> {head}."
+
+
+def render_egd(egd: EGD) -> str:
+    if egd.constants_only or egd.symmetric:
+        raise RenderError(
+            f"{egd.label}: reduction-internal egd flags have no text syntax"
+        )
+    body = ", ".join(render_atom(a) for a in egd.body)
+    return f"{body} -> {render_term(egd.lhs)} = {render_term(egd.rhs)}."
+
+
+def render_dependency(dep: TGD | EGD) -> str:
+    return render_egd(dep) if isinstance(dep, EGD) else render_tgd(dep)
+
+
+# --------------------------------------------------------------- queries
+
+
+def render_query(query: Query) -> str:
+    """One ``name(vars) :- atoms.`` rule per disjunct (``parse_program``)."""
+    if isinstance(query, UnionOfConjunctiveQueries):
+        return "\n".join(render_query(d) for d in query.disjuncts)
+    if query.inequalities:
+        raise RenderError("query inequalities have no text syntax")
+    _check_ident(query.name, "query name")
+    head = ", ".join(_check_ident(v.name, "variable") for v in query.head_vars)
+    body = ", ".join(render_atom(a) for a in query.body)
+    return f"{query.name}({head}) :- {body}."
+
+
+# --------------------------------------------------------------- mapping
+
+
+def _render_decl(keyword: str, relations) -> list[str]:
+    symbols = sorted(relations, key=lambda r: r.name)
+    if not symbols:
+        return []
+    decl = ", ".join(f"{_check_ident(r.name, 'relation')}/{r.arity}" for r in symbols)
+    return [f"{keyword} {decl}."]
+
+
+def render_mapping(mapping: SchemaMapping) -> str:
+    lines = _render_decl("SOURCE", mapping.source)
+    lines += _render_decl("TARGET", mapping.target)
+    if not lines:
+        raise RenderError("a mapping with two empty schemas has no text syntax")
+    lines += [render_tgd(t) for t in mapping.st_tgds]
+    lines += [render_tgd(t) for t in mapping.target_tgds]
+    lines += [render_egd(e) for e in mapping.target_egds]
+    return "\n".join(lines)
+
+
+def render_instance(instance: Instance) -> str:
+    lines = []
+    for fact in sorted(instance, key=repr):
+        _check_ident(fact.relation, "relation")
+        args = ", ".join(render_value(v) for v in fact.args)
+        lines.append(f"{fact.relation}({args}).")
+    return "\n".join(lines)
+
+
+# -------------------------------------------------------------- scenarios
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One differential-fuzzing input: mapping + source instance + query."""
+
+    mapping: SchemaMapping
+    instance: Instance
+    query: Query
+    label: str = ""
+
+    def with_instance(self, instance: Instance) -> "Scenario":
+        return replace(self, instance=instance)
+
+    def with_mapping(self, mapping: SchemaMapping) -> "Scenario":
+        return replace(self, mapping=mapping)
+
+    def with_query(self, query: Query) -> "Scenario":
+        return replace(self, query=query)
+
+    def render(self) -> str:
+        return render_scenario(self)
+
+
+def render_scenario(scenario: Scenario) -> str:
+    parts = []
+    if scenario.label:
+        parts.append(f"% repro.fuzz scenario: {scenario.label}")
+    parts.append(MAPPING_MARKER)
+    parts.append(render_mapping(scenario.mapping))
+    parts.append(DATA_MARKER)
+    data = render_instance(scenario.instance)
+    if data:
+        parts.append(data)
+    parts.append(QUERY_MARKER)
+    parts.append(render_query(scenario.query))
+    return "\n".join(parts) + "\n"
+
+
+def parse_scenario(text: str) -> Scenario:
+    """Inverse of :func:`render_scenario` (accepts hand-written files too)."""
+    sections = {MAPPING_MARKER: [], DATA_MARKER: [], QUERY_MARKER: []}
+    label = ""
+    current: list[str] | None = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped in sections:
+            current = sections[stripped]
+            continue
+        if current is None:
+            prefix = "% repro.fuzz scenario:"
+            if stripped.startswith(prefix):
+                label = stripped[len(prefix):].strip()
+            continue
+        current.append(line)
+    mapping_text = "\n".join(sections[MAPPING_MARKER])
+    if not mapping_text.strip():
+        raise RenderError("scenario file has no mapping section")
+    query_text = "\n".join(sections[QUERY_MARKER])
+    if not query_text.strip():
+        raise RenderError("scenario file has no query section")
+    return Scenario(
+        mapping=parse_mapping(mapping_text),
+        instance=parse_instance("\n".join(sections[DATA_MARKER])),
+        query=parse_program(query_text),
+        label=label,
+    )
+
+
+# ------------------------------------------------------------- equality
+
+
+def _query_parts(query: Query) -> tuple:
+    if isinstance(query, ConjunctiveQuery):
+        disjuncts: tuple[ConjunctiveQuery, ...] = (query,)
+        name = query.name
+    else:
+        disjuncts = query.disjuncts
+        name = query.name
+    return (name, tuple((d.head_vars, d.body) for d in disjuncts))
+
+
+def queries_equal(left: Query, right: Query) -> bool:
+    """Structural equality modulo the CQ / one-disjunct-UCQ distinction."""
+    return _query_parts(left) == _query_parts(right)
+
+
+def mappings_equal(left: SchemaMapping, right: SchemaMapping) -> bool:
+    return (
+        left.source == right.source
+        and left.target == right.target
+        and left.st_tgds == right.st_tgds
+        and left.target_tgds == right.target_tgds
+        and left.target_egds == right.target_egds
+    )
+
+
+def scenarios_equal(left: Scenario, right: Scenario) -> bool:
+    return (
+        mappings_equal(left.mapping, right.mapping)
+        and set(left.instance) == set(right.instance)
+        and queries_equal(left.query, right.query)
+    )

@@ -1,0 +1,242 @@
+"""Automatic failure minimization (delta debugging).
+
+Given a failing scenario and a predicate ``is_failing``, the shrinker
+greedily removes source facts (classic ddmin with complements), then
+dependencies, then query disjuncts / body atoms / head variables, and
+repeats the whole cycle until a fixpoint.  Every candidate is rebuilt
+through the regular constructors, so anything structurally invalid (an
+unsafe query head, a tgd over a vanished relation) is simply skipped
+rather than special-cased.  Finally the schemas are pruned down to the
+relations the minimal repro still mentions.
+
+The predicate is arbitrary — the fuzzer passes "the differential report
+still has discrepancies", tests pass synthetic predicates — and is always
+wrapped: a predicate that *crashes* on a candidate counts as "still
+failing" when the crash is what we are chasing is the caller's decision;
+here a crash counts as *not* reproducing, keeping the shrinker total.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.dependencies.egds import EGD
+from repro.dependencies.mapping import SchemaMapping
+from repro.dependencies.tgds import TGD
+from repro.fuzz.render import Query, Scenario
+from repro.relational.instance import Instance
+from repro.relational.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.relational.schema import Schema
+
+Predicate = Callable[[Scenario], bool]
+
+
+def _still_fails(predicate: Predicate, scenario: Scenario) -> bool:
+    try:
+        return bool(predicate(scenario))
+    except Exception:  # noqa: BLE001 — invalid candidate: not a repro
+        return False
+
+
+# ----------------------------------------------------------------- facts
+
+
+def _shrink_facts(scenario: Scenario, predicate: Predicate) -> Scenario:
+    """ddmin over the source facts: try complements of n chunks, n doubling."""
+    facts = sorted(scenario.instance, key=repr)
+    if facts:
+        empty = scenario.with_instance(Instance())
+        if _still_fails(predicate, empty):
+            return empty
+    granularity = 2
+    while len(facts) >= 2:
+        chunk = max(1, len(facts) // granularity)
+        reduced = False
+        for offset in range(0, len(facts), chunk):
+            kept = facts[:offset] + facts[offset + chunk:]
+            candidate = scenario.with_instance(Instance(kept))
+            if _still_fails(predicate, candidate):
+                facts = kept
+                scenario = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(facts), granularity * 2)
+    return scenario
+
+
+# ---------------------------------------------------------- dependencies
+
+
+def _with_dependencies(
+    scenario: Scenario,
+    st_tgds: Sequence[TGD],
+    target_tgds: Sequence[TGD],
+    target_egds: Sequence[EGD],
+) -> Scenario:
+    mapping = scenario.mapping
+    return scenario.with_mapping(
+        SchemaMapping(
+            mapping.source, mapping.target, st_tgds, target_tgds, target_egds
+        )
+    )
+
+
+def _shrink_dependencies(scenario: Scenario, predicate: Predicate) -> Scenario:
+    changed = True
+    while changed:
+        changed = False
+        mapping = scenario.mapping
+        groups = {
+            "st": list(mapping.st_tgds),
+            "tt": list(mapping.target_tgds),
+            "egd": list(mapping.target_egds),
+        }
+        for key, deps in groups.items():
+            for index in range(len(deps)):
+                trimmed = dict(groups)
+                trimmed[key] = deps[:index] + deps[index + 1:]
+                candidate = _with_dependencies(
+                    scenario, trimmed["st"], trimmed["tt"], trimmed["egd"]
+                )
+                if _still_fails(predicate, candidate):
+                    scenario = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return scenario
+
+
+# --------------------------------------------------------------- queries
+
+
+def _cq_variants(cq: ConjunctiveQuery):
+    """Smaller CQs: drop a body atom (re-securing the head), drop a head var."""
+    for index in range(len(cq.body)):
+        body = cq.body[:index] + cq.body[index + 1:]
+        if not body:
+            continue
+        remaining = set().union(*(a.variables() for a in body))
+        head = [v for v in cq.head_vars if v in remaining]
+        yield ConjunctiveQuery(head, body, name=cq.name)
+    for index in range(len(cq.head_vars)):
+        head = cq.head_vars[:index] + cq.head_vars[index + 1:]
+        yield ConjunctiveQuery(head, cq.body, name=cq.name)
+
+
+def _query_variants(query: Query):
+    if isinstance(query, UnionOfConjunctiveQueries):
+        disjuncts = query.disjuncts
+        if len(disjuncts) > 1:
+            for index in range(len(disjuncts)):
+                kept = disjuncts[:index] + disjuncts[index + 1:]
+                if len(kept) == 1:
+                    yield kept[0]
+                else:
+                    yield UnionOfConjunctiveQueries(kept, name=query.name)
+        else:
+            yield from _cq_variants(disjuncts[0])
+        return
+    yield from _cq_variants(query)
+
+
+def _shrink_query(scenario: Scenario, predicate: Predicate) -> Scenario:
+    changed = True
+    while changed:
+        changed = False
+        for variant in _query_variants(scenario.query):
+            candidate = scenario.with_query(variant)
+            if _still_fails(predicate, candidate):
+                scenario = candidate
+                changed = True
+                break
+    return scenario
+
+
+# ---------------------------------------------------------------- schema
+
+
+def _used_relations(scenario: Scenario) -> set[str]:
+    used: set[str] = set()
+    mapping = scenario.mapping
+    for dep in (*mapping.st_tgds, *mapping.target_tgds, *mapping.target_egds):
+        used |= dep.body_relations()
+        used |= getattr(dep, "head_relations", lambda: set())()
+    for fact in scenario.instance:
+        used.add(fact.relation)
+    query = scenario.query
+    disjuncts = (
+        query.disjuncts
+        if isinstance(query, UnionOfConjunctiveQueries)
+        else (query,)
+    )
+    for disjunct in disjuncts:
+        used |= {atom.relation for atom in disjunct.body}
+    return used
+
+
+def _prune_schemas(scenario: Scenario, predicate: Predicate) -> Scenario:
+    """Drop relations the minimal repro no longer mentions (cosmetic, but
+    it keeps serialized repros readable); kept only if still failing."""
+    used = _used_relations(scenario)
+    mapping = scenario.mapping
+    source = Schema(r for r in mapping.source if r.name in used)
+    target = Schema(r for r in mapping.target if r.name in used)
+    if len(source) == len(mapping.source) and len(target) == len(mapping.target):
+        return scenario
+    try:
+        candidate = scenario.with_mapping(
+            SchemaMapping(
+                source,
+                target,
+                mapping.st_tgds,
+                mapping.target_tgds,
+                mapping.target_egds,
+            )
+        )
+    except Exception:  # noqa: BLE001
+        return scenario
+    return candidate if _still_fails(predicate, candidate) else scenario
+
+
+# ----------------------------------------------------------------- entry
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    is_failing: Predicate,
+    max_rounds: int = 8,
+) -> Scenario:
+    """Minimize ``scenario`` while ``is_failing`` keeps holding.
+
+    Returns the smallest scenario found (the input itself when it does not
+    fail, so callers need no special case).  Deterministic: same scenario
+    and predicate, same minimal repro.
+    """
+    if not _still_fails(is_failing, scenario):
+        return scenario
+    for _ in range(max_rounds):
+        before = (
+            len(scenario.instance),
+            len(scenario.mapping.st_tgds),
+            len(scenario.mapping.target_tgds),
+            len(scenario.mapping.target_egds),
+            scenario.query.__repr__(),
+        )
+        scenario = _shrink_facts(scenario, is_failing)
+        scenario = _shrink_dependencies(scenario, is_failing)
+        scenario = _shrink_query(scenario, is_failing)
+        after = (
+            len(scenario.instance),
+            len(scenario.mapping.st_tgds),
+            len(scenario.mapping.target_tgds),
+            len(scenario.mapping.target_egds),
+            scenario.query.__repr__(),
+        )
+        if after == before:
+            break
+    return _prune_schemas(scenario, is_failing)

@@ -1,0 +1,170 @@
+"""The original randomized cross-validation generator (migrated).
+
+This module is the library home of what used to live in
+``tests/test_xr/xval_helper.py``: a seeded generator of small random
+``glav+(wa-glav, egd)`` schema mappings, source instances, and conjunctive
+queries, plus :func:`check_scenario`, which runs all three XR-Certain
+implementations and returns their answers for comparison.
+
+The generation logic is kept **byte-for-byte seed-compatible** with the
+historical helper: seed ``s`` produces exactly the scenario it always did,
+so the known regression seeds recorded in ``tests/test_xr/test_property.py``
+and serialized into ``tests/corpus/`` keep their meaning.  New fuzzing
+profiles with richer knobs live in :mod:`repro.fuzz.generator`; this one
+stays frozen.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dependencies import EGD, TGD, SchemaMapping
+from repro.dependencies.acyclicity import is_weakly_acyclic
+from repro.fuzz.render import Scenario
+from repro.relational import Fact, Instance
+from repro.relational.queries import Atom, ConjunctiveQuery
+from repro.relational.schema import RelationSymbol, Schema
+from repro.relational.terms import Variable
+
+VARS = [Variable(name) for name in "xyzuvw"]
+CONSTS = ["a", "b", "c"]
+SOURCE_RELATIONS = [("R", 2), ("S", 2)]
+TARGET_RELATIONS = [("T", 2), ("U", 2)]
+
+__all__ = [
+    "VARS",
+    "CONSTS",
+    "SOURCE_RELATIONS",
+    "TARGET_RELATIONS",
+    "random_atom",
+    "random_scenario",
+    "xval_scenario",
+    "check_scenario",
+]
+
+
+def random_atom(rng: random.Random, relations, variables) -> Atom:
+    name, arity = rng.choice(relations)
+    return Atom(name, [rng.choice(variables) for _ in range(arity)])
+
+
+def random_scenario(
+    seed: int,
+) -> tuple[SchemaMapping, Instance, ConjunctiveQuery]:
+    """A random small scenario: mapping + instance + query."""
+    rng = random.Random(seed)
+
+    st_tgds = []
+    for _ in range(rng.randint(1, 3)):
+        body = [
+            random_atom(rng, SOURCE_RELATIONS, VARS[:3])
+            for _ in range(rng.randint(1, 2))
+        ]
+        body_vars = sorted(
+            {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+        )
+        pool = body_vars + ([VARS[4]] if rng.random() < 0.4 else body_vars)
+        head_terms = [rng.choice(pool), rng.choice(pool)]
+        name, arity = rng.choice(TARGET_RELATIONS)
+        st_tgds.append(TGD(body, [Atom(name, head_terms[:arity])]))
+
+    target_tgds = []
+    for _ in range(rng.randint(0, 2)):
+        body = [
+            random_atom(rng, TARGET_RELATIONS, VARS[:3])
+            for _ in range(rng.randint(1, 2))
+        ]
+        body_vars = sorted(
+            {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+        )
+        if not body_vars:
+            continue
+        pool = body_vars + ([VARS[5]] if rng.random() < 0.3 else body_vars)
+        head_terms = [rng.choice(pool), rng.choice(pool)]
+        name, arity = rng.choice(TARGET_RELATIONS)
+        candidate = TGD(body, [Atom(name, head_terms[:arity])])
+        if is_weakly_acyclic(target_tgds + [candidate]):
+            target_tgds.append(candidate)
+
+    egds = []
+    for _ in range(rng.randint(1, 2)):
+        body = [
+            random_atom(rng, TARGET_RELATIONS, VARS[:4])
+            for _ in range(rng.randint(1, 2))
+        ]
+        body_vars = sorted(
+            {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+        )
+        if len(body_vars) < 2:
+            continue
+        lhs, rhs = rng.sample(body_vars, 2)
+        egds.append(EGD(body, lhs, rhs))
+
+    mapping = SchemaMapping(
+        Schema([RelationSymbol(n, a) for n, a in SOURCE_RELATIONS]),
+        Schema([RelationSymbol(n, a) for n, a in TARGET_RELATIONS]),
+        st_tgds,
+        target_tgds,
+        egds,
+    )
+
+    instance = Instance(
+        Fact(rng.choice(["R", "S"]), (rng.choice(CONSTS), rng.choice(CONSTS)))
+        for _ in range(rng.randint(2, 7))
+    )
+
+    query_body = [
+        random_atom(rng, TARGET_RELATIONS, VARS[:3])
+        for _ in range(rng.randint(1, 2))
+    ]
+    query_vars = sorted(
+        {v for atom in query_body for v in atom.variables()}, key=lambda v: v.name
+    )
+    head = rng.sample(query_vars, rng.randint(0, min(2, len(query_vars))))
+    query = ConjunctiveQuery(head, query_body)
+    return mapping, instance, query
+
+
+def xval_scenario(seed: int) -> Scenario:
+    """Seed ``seed`` as a :class:`~repro.fuzz.render.Scenario` (for the
+    differential runner, the shrinker, and the regression corpus)."""
+    mapping, instance, query = random_scenario(seed)
+    return Scenario(mapping, instance, query, label=f"xval seed={seed}")
+
+
+def check_scenario(seed: int) -> tuple[set, set, set]:
+    """Run all three engines; returns (oracle, monolithic, segmentary)."""
+    from repro.xr.monolithic import MonolithicEngine
+    from repro.xr.oracle import xr_certain_oracle
+    from repro.xr.segmentary import SegmentaryEngine
+
+    mapping, instance, query = random_scenario(seed)
+    oracle = xr_certain_oracle(query, instance, mapping)
+    monolithic = MonolithicEngine(mapping, instance).answer(query)
+    segmentary = SegmentaryEngine(mapping, instance).answer(query)
+    return oracle, monolithic, segmentary
+
+
+if __name__ == "__main__":
+    import sys
+
+    start = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 300
+    mismatches = 0
+    for seed in range(start, start + count):
+        oracle, monolithic, segmentary = check_scenario(seed)
+        if not (oracle == monolithic == segmentary):
+            mismatches += 1
+            mapping, instance, query = random_scenario(seed)
+            print(f"MISMATCH seed={seed}")
+            print(" mapping:", mapping.st_tgds, mapping.target_tgds, mapping.target_egds)
+            print(" instance:", sorted(map(repr, instance)))
+            print(" query:", query)
+            print(" oracle:", sorted(oracle))
+            print(" monolithic:", sorted(monolithic))
+            print(" segmentary:", sorted(segmentary))
+            if mismatches > 2:
+                break
+        if (seed - start) % 50 == 49:
+            print(f"... {seed - start + 1} scenarios", flush=True)
+    print("cross-validation done. mismatches:", mismatches)

@@ -1,0 +1,95 @@
+"""The delta-debugging shrinker on synthetic predicates."""
+
+from repro.fuzz.render import Scenario
+from repro.fuzz.shrink import shrink_scenario
+from repro.fuzz.xval import xval_scenario
+from repro.parser import parse_instance, parse_mapping, parse_program
+from repro.relational.instance import Fact
+from repro.relational.queries import UnionOfConjunctiveQueries
+
+
+def _scenario() -> Scenario:
+    mapping = parse_mapping(
+        """
+        SOURCE R/2, S/2. TARGET T/2, U/2.
+        R(x, y) -> T(x, y).
+        S(x, y) -> U(x, y).
+        T(x, y), T(x, z) -> y = z.
+        U(x, y), U(x, z) -> y = z.
+        """
+    )
+    instance = parse_instance(
+        "R('a', 'b'). R('a', 'c'). R('d', 'd'). "
+        "S('a', 'b'). S('b', 'c'). S('c', 'a')."
+    )
+    query = parse_program("q(x) :- T(x, y), U(y, z).")
+    return Scenario(mapping, instance, query)
+
+
+def test_not_failing_returns_input_unchanged():
+    scenario = _scenario()
+    assert shrink_scenario(scenario, lambda s: False) is scenario
+
+
+def test_shrinks_facts_to_single_witness():
+    witness = Fact("R", ("a", "b"))
+    minimal = shrink_scenario(_scenario(), lambda s: witness in set(s.instance))
+    assert set(minimal.instance) == {witness}
+
+
+def test_shrinks_dependencies_and_query():
+    def failing(scenario):
+        # "Fails" whenever any egd and a T-atom in the query remain.
+        has_egd = bool(scenario.mapping.target_egds)
+        disjuncts = (
+            scenario.query.disjuncts
+            if isinstance(scenario.query, UnionOfConjunctiveQueries)
+            else [scenario.query]
+        )
+        has_t = any(
+            atom.relation == "T" for cq in disjuncts for atom in cq.body
+        )
+        return has_egd and has_t
+
+    minimal = shrink_scenario(_scenario(), failing)
+    assert len(minimal.instance) == 0
+    assert len(minimal.mapping.target_egds) == 1
+    assert len(minimal.query.body) == 1
+    assert minimal.query.body[0].relation == "T"
+
+
+def test_crashing_predicate_counts_as_not_failing():
+    scenario = _scenario()
+
+    def brittle(candidate):
+        if len(candidate.instance) < 3:
+            raise RuntimeError("boom")
+        return True
+
+    minimal = shrink_scenario(scenario, brittle)
+    # It can delete facts down to 3, never below (the predicate crashes).
+    assert len(minimal.instance) == 3
+
+
+def test_schema_pruning_drops_unused_relations():
+    minimal = shrink_scenario(
+        _scenario(), lambda s: any(f.relation == "R" for f in s.instance)
+    )
+    names = {r.name for r in minimal.mapping.source} | {
+        r.name for r in minimal.mapping.target
+    }
+    # The predicate only cares about R facts: all dependencies and S facts
+    # are shrunk away, so the S relation must be pruned.  (The query keeps
+    # one atom — whichever target relation survives the query shrink.)
+    assert "R" in names
+    assert "S" not in names
+    assert len(names) <= 2
+
+
+def test_shrink_is_deterministic():
+    predicate = lambda s: len(set(s.instance)) >= 2  # noqa: E731
+    first = shrink_scenario(xval_scenario(42), predicate)
+    second = shrink_scenario(xval_scenario(42), predicate)
+    from repro.fuzz.render import render_scenario
+
+    assert render_scenario(first) == render_scenario(second)

@@ -78,6 +78,7 @@ class TestQuerySuite:
 
 
 class TestEngineAgreement:
+    @pytest.mark.slow
     def test_monolithic_equals_segmentary(self, reduced, small_instance, segmentary):
         monolithic = MonolithicEngine(reduced, small_instance.instance)
         for name in ("xr1", "xr2", "ep2", "xr5"):

@@ -109,5 +109,14 @@ def test_figure1_is_sound_upper_bound(seed):
     only over-approximate them (it misses some stable models)."""
     mapping, instance, query = random_scenario(seed)
     certain = xr_certain_oracle(query, instance, mapping)
-    figure1 = MonolithicEngine(mapping, instance, encoding="figure1").answer(query)
+    try:
+        figure1 = MonolithicEngine(mapping, instance, encoding="figure1").answer(query)
+    except RuntimeError as error:
+        if "no stable model" not in str(error):
+            raise
+        # The erratum in its total form (DESIGN §7, found by fuzzing): the
+        # literal encoding misses *every* repair.  Cautious consequence
+        # over zero stable models is vacuously everything, so the upper
+        # bound holds trivially.
+        return
     assert certain <= figure1

@@ -2,12 +2,14 @@
 
 Random small ``glav+(wa-glav, egd)`` scenarios; all three implementations
 must agree on the XR-Certain answers.  The seed-driven generator lives in
-``xval_helper`` and is also runnable standalone for long fuzzing sessions.
+:mod:`repro.fuzz.xval` (frozen for seed stability) and is also runnable
+standalone for long fuzzing sessions; richer generation plus the full
+engine-configuration matrix is ``python -m repro fuzz``.
 """
 
 from hypothesis import given, settings, strategies as st
 
-from tests.test_xr.xval_helper import check_scenario, random_scenario
+from repro.fuzz.xval import check_scenario, random_scenario
 
 
 @settings(max_examples=25, deadline=None)
@@ -28,7 +30,15 @@ def test_scenarios_are_well_formed(seed):
 
 
 def test_known_regression_seeds():
-    """Seeds that exposed bugs during development stay fixed."""
-    for seed in (0, 7, 19, 42, 123, 271):
+    """Seeds that exposed bugs during development stay fixed.
+
+    The same seeds are serialized into ``tests/corpus/`` (see
+    ``repro.fuzz.corpus.XVAL_REGRESSION_SEEDS``) and replayed through the
+    full differential matrix by ``tests/test_fuzz/test_corpus.py``.
+    """
+    from repro.fuzz.corpus import XVAL_REGRESSION_SEEDS
+
+    assert XVAL_REGRESSION_SEEDS == (0, 7, 19, 42, 123, 271)
+    for seed in XVAL_REGRESSION_SEEDS:
         oracle, monolithic, segmentary = check_scenario(seed)
         assert oracle == monolithic == segmentary, f"seed={seed}"

@@ -45,6 +45,7 @@ def genome_setup():
 
 
 class TestParallelMatchesSequential:
+    @pytest.mark.slow
     def test_genome_profile_s3(self, genome_setup):
         reduced, instance = genome_setup
         sequential = SegmentaryEngine(reduced, instance)
@@ -100,6 +101,7 @@ class TestParallelMatchesSequential:
         finally:
             parallel.close()
 
+    @pytest.mark.slow
     def test_three_colorability_gadget(self):
         example = load_example("three_colorability")
         mapping = example.theorem3_mapping()
