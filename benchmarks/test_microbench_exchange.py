@@ -1,0 +1,74 @@
+"""Per-stage micro-benchmark of the exchange and query phases (PR 3).
+
+Runs the S-profile slice of the ``repro bench --micro`` grid, prints the
+per-stage medians (chase, grounding enumeration, violation detection,
+index construction, envelope analysis, program build, solve), checks the
+stage accounting is coherent, and writes a machine-readable artifact to
+``benchmarks/results/microbench_exchange.json`` via
+:func:`repro.bench.reporting.write_benchmark_json` — the same writer that
+produced the committed ``BENCH_PR3.json`` trajectory at the repo root.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.micro import format_micro_table, run_micro
+from repro.bench.reporting import write_benchmark_json
+
+RESULTS_JSON = (
+    pathlib.Path(__file__).parent / "results" / "microbench_exchange.json"
+)
+
+EXCHANGE_STAGES = ("chase", "groundings", "violations", "index", "envelope")
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_micro(scenarios=["S0", "S9", "S20"], repeats=3)
+
+
+def test_micro_payload_shape_and_stage_accounting(payload, report):
+    report.emit(format_micro_table(payload))
+    assert payload["kind"] == "repro-micro-benchmark"
+    for name, row in payload["scenarios"].items():
+        exchange = row["exchange_s"]
+        for stage in EXCHANGE_STAGES + ("build_total", "total"):
+            assert stage in exchange, f"{name}: missing stage {stage}"
+            assert exchange[stage] >= 0.0
+        # The staged clocks must account for (almost all of) the total:
+        # medians of sums need not equal sums of medians exactly, but a
+        # large gap means a stage went unmeasured.
+        staged = sum(exchange[stage] for stage in EXCHANGE_STAGES)
+        assert staged <= exchange["total"] * 1.5 + 0.05
+        assert exchange["total"] >= exchange["build_total"] * 0.5
+        query = row["query_s"]
+        assert set(query) == {"program_build", "solve", "query_total"}
+        assert query["query_total"] + 0.05 >= query["solve"]
+
+
+def test_suspect_free_profile_solves_nothing(payload):
+    clean = payload["scenarios"]["S0"]
+    assert clean["counts"]["suspect_source_facts"] == 0
+    assert clean["programs_solved"] == 0
+    assert clean["query_s"]["solve"] == 0.0
+
+
+def test_suspect_rate_scales_counts(payload):
+    s9 = payload["scenarios"]["S9"]["counts"]
+    s20 = payload["scenarios"]["S20"]["counts"]
+    assert s20["suspect_source_facts"] > s9["suspect_source_facts"] > 0
+    assert s20["violations"] > 0
+
+
+def test_artifact_is_written_and_reloadable(payload, report):
+    path = write_benchmark_json(RESULTS_JSON, payload)
+    report.emit(f"% artifact written to {path}")
+    import json
+
+    on_disk = json.loads(RESULTS_JSON.read_text())
+    assert on_disk["kind"] == "repro-micro-benchmark"
+    assert "machine_info" in on_disk
+    assert set(on_disk["scenarios"]) == set(payload["scenarios"])

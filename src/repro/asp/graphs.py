@@ -1,0 +1,81 @@
+"""Minimal graph algorithms for the ASP engine.
+
+The stable-model engine needs exactly one graph primitive — strongly
+connected components of the positive dependency graph — on int-keyed
+adjacency it already has in hand.  An in-repo iterative Tarjan avoids
+materializing a ``networkx`` graph object per program build (node/edge
+dict-of-dicts churn) and keeps the solver hot path dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_NO_EDGES: tuple[int, ...] = ()
+
+
+def tarjan_scc(adjacency: Mapping[int, Sequence[int]]) -> list[list[int]]:
+    """Strongly connected components of a directed graph.
+
+    ``adjacency`` maps a node to its successors.  Nodes appearing only as
+    successors are treated as having no outgoing edges.  Components are
+    returned in reverse topological order (successors before predecessors),
+    as Tarjan's algorithm produces them; the traversal is iterative, so
+    deep chains do not hit the recursion limit.
+    """
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+
+    for root in adjacency:
+        if root in index_of:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, edge_index = work.pop()
+            if edge_index == 0:
+                index_of[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            successors = adjacency.get(node, _NO_EDGES)
+            descended = False
+            for position in range(edge_index, len(successors)):
+                successor = successors[position]
+                if successor not in index_of:
+                    work.append((node, position + 1))
+                    work.append((successor, 0))
+                    descended = True
+                    break
+                if successor in on_stack and index_of[successor] < lowlink[node]:
+                    lowlink[node] = index_of[successor]
+            if descended:
+                continue
+            if lowlink[node] == index_of[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.remove(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+    return components
+
+
+def nontrivial_sccs(adjacency: Mapping[int, Sequence[int]]) -> list[list[int]]:
+    """The SCCs of size >= 2 (the only ones that can carry a positive loop).
+
+    A self-loop (``a ← a``) also forms a loop, but the callers here operate
+    on dependency graphs whose self-loops are tautological rules that were
+    already filtered out.
+    """
+    return [c for c in tarjan_scc(adjacency) if len(c) >= 2]

@@ -20,29 +20,43 @@ al.; also the architecture of claspD), built on the CDCL solver:
 
 Head-cycle-free disjunctive programs are *shifted* into equivalent normal
 programs first (Ben-Eliyahu & Dechter), enabling the fast minimality test.
+
+Hot-path notes: atoms that appear in no rule head are false in every stable
+model (the generator forces them false up front), so candidate extraction
+and the enumeration-blocking clauses of :meth:`StableModelEngine._exclude`
+range over the *head atoms* only — on the XR programs most atoms are
+body-only "remains" copies of safe context facts, and the full-universe
+clauses dominated solve time.  The ``heads_of`` index built during
+generation is reused to visit only the relevant rules in the loop-formula
+steps, and SCCs come from the in-repo iterative Tarjan
+(:mod:`repro.asp.graphs`) rather than ``networkx``.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
-import networkx as nx
-
+from repro.asp.graphs import nontrivial_sccs, tarjan_scc
 from repro.asp.sat import SatSolver
 from repro.asp.syntax import GroundProgram, GroundRule
+
+
+def _positive_adjacency(rules: Iterable[GroundRule]) -> dict[int, list[int]]:
+    """head atom -> positive body atoms, over all rules (dependency graph)."""
+    adjacency: dict[int, list[int]] = {}
+    for rule in rules:
+        for head_atom in rule.head:
+            edges = adjacency.setdefault(head_atom, [])
+            for body_atom in rule.body_pos:
+                edges.append(body_atom)
+    return adjacency
 
 
 def is_head_cycle_free(rules: Iterable[GroundRule]) -> bool:
     """True if no two atoms in one disjunctive head share a positive cycle."""
     rules = list(rules)
-    graph = nx.DiGraph()
-    for rule in rules:
-        for head_atom in rule.head:
-            graph.add_node(head_atom)
-            for body_atom in rule.body_pos:
-                graph.add_edge(head_atom, body_atom)
     component_of: dict[int, int] = {}
-    for index, component in enumerate(nx.strongly_connected_components(graph)):
+    for index, component in enumerate(tarjan_scc(_positive_adjacency(rules))):
         for node in component:
             component_of[node] = index
     for rule in rules:
@@ -130,13 +144,21 @@ class StableModelEngine:
                 reverse_clause.append(atom)
             solver.add_clause(reverse_clause)
 
-        # Rule clauses: body -> head disjunction.
+        # Rule clauses: body -> head disjunction.  ``heads_of`` is kept:
+        # the loop-formula steps use it to visit only the rules whose head
+        # meets a given atom set.
         heads_of: dict[int, list[int]] = {}
+        self.heads_of = heads_of
         for index, rule in enumerate(self.rules):
             beta = self.body_var[index]
             solver.add_clause([-beta] + list(rule.head))
             for atom in rule.head:
                 heads_of.setdefault(atom, []).append(index)
+
+        # Every stable model is a subset of the head atoms: the generator
+        # forces all other atoms false, and candidate extraction/blocking
+        # ranges over this list only.
+        self.head_atoms: list[int] = sorted(heads_of)
 
         # Exclusive-support clauses: a true atom needs a rule whose body
         # holds and in which it is the only true head atom.
@@ -239,15 +261,6 @@ class StableModelEngine:
 
     # ------------------------------------------------------------ refining
 
-    def _positive_dependency_graph(self) -> nx.DiGraph:
-        graph = nx.DiGraph()
-        for rule in self.rules:
-            for head_atom in rule.head:
-                graph.add_node(head_atom)
-                for body_atom in rule.body_pos:
-                    graph.add_edge(head_atom, body_atom)
-        return graph
-
     def _add_upfront_loop_formulas(self) -> None:
         """Install loop formulas for every SCC of the positive dependency
         graph before search starts.
@@ -257,35 +270,39 @@ class StableModelEngine:
         eliminated one failed candidate at a time.  Inner loops strictly
         inside an SCC are still handled on demand by the refinement step.
         """
-        graph = self._positive_dependency_graph()
-        for component in nx.strongly_connected_components(graph):
-            if len(component) >= 2:
-                self._add_loop_clauses(frozenset(component))
+        for component in nontrivial_sccs(_positive_adjacency(self.rules)):
+            self._add_loop_clauses(frozenset(component))
 
     def _refine_with_unfounded(self, unfounded: frozenset[int]) -> None:
         """Add loop formulas for each SCC of the unfounded set (decomposing
         yields several stronger formulas instead of one weak one)."""
-        subgraph = nx.DiGraph()
-        subgraph.add_nodes_from(unfounded)
-        for rule in self.rules:
+        adjacency: dict[int, list[int]] = {atom: [] for atom in unfounded}
+        for index in self._rules_meeting(unfounded):
+            rule = self.rules[index]
             for head_atom in rule.head:
                 if head_atom not in unfounded:
                     continue
+                edges = adjacency[head_atom]
                 for body_atom in rule.body_pos:
                     if body_atom in unfounded:
-                        subgraph.add_edge(head_atom, body_atom)
-        for component in nx.strongly_connected_components(subgraph):
+                        edges.append(body_atom)
+        for component in tarjan_scc(adjacency):
             self._add_loop_clauses(frozenset(component))
+
+    def _rules_meeting(self, atoms: frozenset[int]) -> list[int]:
+        """Sorted indexes of the rules whose head meets ``atoms``."""
+        heads_of = self.heads_of
+        indexes: set[int] = set()
+        for atom in atoms:
+            indexes.update(heads_of.get(atom, ()))
+        return sorted(indexes)
 
     def _add_loop_clauses(self, unfounded: frozenset[int]) -> None:
         """Add the loop formulas of the unfounded set (valid in all stable
         models; exclude the current candidate)."""
         external_literals: list[int] = []
-        for index, rule in enumerate(self.rules):
-            if not rule.head:
-                continue
-            if not any(atom in unfounded for atom in rule.head):
-                continue
+        for index in self._rules_meeting(unfounded):
+            rule = self.rules[index]
             if any(atom in unfounded for atom in rule.body_pos):
                 continue
             outside_head = [atom for atom in rule.head if atom not in unfounded]
@@ -323,8 +340,10 @@ class StableModelEngine:
                 self._exhausted = True
                 return None
             values = self.solver.model()
+            # Headless atoms are forced false by the generator, so the
+            # candidate is determined by the head atoms alone.
             candidate = frozenset(
-                atom for atom in range(1, self.num_atoms + 1) if values[atom]
+                atom for atom in self.head_atoms if values[atom]
             )
             if self.is_normal:
                 least = self._least_model_of_reduct(candidate)
@@ -340,10 +359,15 @@ class StableModelEngine:
                 self._refine_with_unfounded(frozenset(candidate - witness))
 
     def _exclude(self, model: frozenset[int]) -> None:
-        """Exclude exactly this atom assignment (for enumeration)."""
+        """Exclude exactly this atom assignment (for enumeration).
+
+        The blocking clause ranges over the head atoms only: every stable
+        model agrees on the remaining (forced-false) atoms, so a clause
+        over the full atom range would block exactly the same assignments
+        while being as wide as the atom table.
+        """
         clause = [
-            -atom if atom in model else atom
-            for atom in range(1, self.num_atoms + 1)
+            -atom if atom in model else atom for atom in self.head_atoms
         ]
         if not self.solver.add_clause(clause):
             self._exhausted = True

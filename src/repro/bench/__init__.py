@@ -5,12 +5,39 @@ from repro.bench.runner import (
     QueryResult,
     run_query_suite,
 )
-from repro.bench.reporting import format_series, format_table
+from repro.bench.micro import (
+    MICRO_QUERIES,
+    MICRO_RATES,
+    MICRO_SIZES,
+    compare_payloads,
+    format_micro_table,
+    micro_scenario_names,
+    run_micro,
+    run_micro_scenario,
+)
+from repro.bench.reporting import (
+    format_series,
+    format_table,
+    machine_info,
+    read_benchmark_json,
+    write_benchmark_json,
+)
 
 __all__ = [
     "BenchmarkContext",
     "QueryResult",
     "run_query_suite",
+    "MICRO_QUERIES",
+    "MICRO_RATES",
+    "MICRO_SIZES",
+    "compare_payloads",
+    "format_micro_table",
+    "micro_scenario_names",
+    "run_micro",
+    "run_micro_scenario",
     "format_series",
     "format_table",
+    "machine_info",
+    "read_benchmark_json",
+    "write_benchmark_json",
 ]

@@ -1,0 +1,249 @@
+"""Micro-benchmarks for the deterministic hot paths.
+
+Three measured stages, per genomics scenario (size × suspect rate):
+
+- **exchange build** — the query-independent exchange phase, split into
+  chase / grounding enumeration / violation detection / index construction
+  (:func:`~repro.xr.exchange.build_exchange_data` stage timings) plus the
+  envelope analysis (:func:`~repro.xr.envelope.analyze_envelopes`);
+- **program build** — per-signature program construction in the query
+  phase (``QueryPhaseStats.build_seconds`` over a fixed query subset,
+  caches disabled so construction is actually exercised);
+- **solve** — stable-model solving of the built programs
+  (``QueryPhaseStats.solve_seconds``).
+
+The paper's practicality claim (§5–§6) rests on the first two stages
+being PTIME-cheap so the NP-hard solving dominates; these benchmarks
+watch exactly that split.  Scenarios are the S/M/L genomics sizes crossed
+with the paper's 0/3/9/20 % suspect rates.  Each stage reports the
+*median* over ``repeats`` fresh runs (medians are robust to one-off
+scheduler noise; the paper reports medians too).
+
+``python -m repro bench --micro`` runs this and can emit a JSON artifact
+via :func:`repro.bench.reporting.write_benchmark_json`; the committed
+``BENCH_PR3.json`` pairs one pre-optimization artifact with one
+post-optimization artifact (see ``benchmarks/README.md``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable
+
+from repro.bench.reporting import format_table
+from repro.genomics.instances import InstanceProfile, build_instance
+from repro.genomics.queries import query_by_name
+from repro.genomics.schema import genome_mapping
+from repro.reduction.reduce import ReducedMapping, reduce_mapping
+from repro.xr.envelope import analyze_envelopes
+from repro.xr.exchange import build_exchange_data
+from repro.xr.segmentary import SegmentaryEngine
+
+#: Transcript counts of the micro-benchmark size steps (matching the
+#: S3/M3/L3 profiles of :mod:`repro.genomics.instances`).
+MICRO_SIZES: dict[str, int] = {"S": 18, "M": 40, "L": 100}
+
+#: Suspect rates of the paper's Figure 3/4 sweep.
+MICRO_RATES: tuple[float, ...] = (0.0, 0.03, 0.09, 0.20)
+
+#: Query subset exercised by the query-phase stages: a source-source join
+#: (ep2), a projection over the biggest target relation (xr2), and a
+#: self-join (xr4).  Small enough to keep the benchmark runnable at L,
+#: varied enough to build programs of every signature shape.
+MICRO_QUERIES: tuple[str, ...] = ("ep2", "xr2", "xr4")
+
+
+def micro_scenario_names(
+    sizes: dict[str, int] | None = None,
+    rates: tuple[float, ...] | None = None,
+) -> list[str]:
+    """The default scenario grid, e.g. ``["S0", "S3", ..., "L20"]``."""
+    sizes = MICRO_SIZES if sizes is None else sizes
+    rates = MICRO_RATES if rates is None else rates
+    return [
+        f"{size}{int(round(rate * 100))}" for size in sizes for rate in rates
+    ]
+
+
+def parse_scenario_name(name: str) -> InstanceProfile:
+    """Turn ``"M9"`` into the matching :class:`InstanceProfile`."""
+    size = name[0].upper()
+    if size not in MICRO_SIZES:
+        raise ValueError(f"unknown size {size!r}; choose from {sorted(MICRO_SIZES)}")
+    try:
+        rate = int(name[1:]) / 100.0
+    except ValueError:
+        raise ValueError(f"bad scenario name {name!r}; expected e.g. 'M9'") from None
+    return InstanceProfile(name, MICRO_SIZES[size], rate)
+
+
+def _median(values: list[float]) -> float:
+    return statistics.median(values) if values else 0.0
+
+
+def run_micro_scenario(
+    name: str,
+    reduced: ReducedMapping | None = None,
+    repeats: int = 3,
+    queries: tuple[str, ...] = MICRO_QUERIES,
+) -> dict:
+    """Measure one scenario; returns the per-stage median timing payload."""
+    profile = parse_scenario_name(name)
+    if reduced is None:
+        reduced = reduce_mapping(genome_mapping())
+    instance = build_instance(profile).instance
+
+    exchange_runs: list[dict[str, float]] = []
+    counts: dict[str, int] = {}
+    data = None
+    analysis = None
+    for _ in range(max(1, repeats)):
+        timings: dict[str, float] = {}
+        started = time.perf_counter()
+        data = build_exchange_data(reduced.gav, instance, timings=timings)
+        built_at = time.perf_counter()
+        analysis = analyze_envelopes(data)
+        done = time.perf_counter()
+        timings["envelope"] = done - built_at
+        timings["total"] = done - started
+        timings["build_total"] = built_at - started
+        exchange_runs.append(timings)
+    assert data is not None and analysis is not None
+    counts = {
+        "source_facts": len(instance),
+        "chased_facts": len(data.chased),
+        "groundings": len(data.groundings),
+        "violations": len(data.violations),
+        "clusters": len(analysis.clusters),
+        "suspect_source_facts": len(analysis.suspect_source),
+    }
+
+    query_runs: list[dict[str, float]] = []
+    answers: dict[str, int] = {}
+    programs_solved = 0
+    for _ in range(max(1, repeats)):
+        # A fresh engine per repeat, seeded with the measured exchange
+        # artifacts (caches off: program build and solving must actually
+        # run — a warm cache would measure dictionary lookups instead).
+        engine = SegmentaryEngine(reduced, instance, cache=False)
+        engine.data = data
+        engine.analysis = analysis
+        run = {"program_build": 0.0, "solve": 0.0, "query_total": 0.0}
+        programs_solved = 0
+        for query_name in queries:
+            result, stats = engine.answer_with_stats(query_by_name(query_name))
+            answers[query_name] = len(result)
+            run["program_build"] += stats.build_seconds
+            run["solve"] += stats.solve_seconds
+            run["query_total"] += stats.seconds
+            programs_solved += stats.programs_solved
+        engine.close()
+        query_runs.append(run)
+
+    exchange_medians = {
+        key: _median([run.get(key, 0.0) for run in exchange_runs])
+        for key in ("chase", "groundings", "violations", "index",
+                    "envelope", "build_total", "total")
+    }
+    query_medians = {
+        key: _median([run[key] for run in query_runs])
+        for key in ("program_build", "solve", "query_total")
+    }
+    return {
+        "profile": {
+            "name": name,
+            "transcripts": profile.transcripts,
+            "suspect_rate": profile.suspect_fraction,
+        },
+        "counts": counts,
+        "exchange_s": exchange_medians,
+        "query_s": query_medians,
+        "programs_solved": programs_solved,
+        "answers": answers,
+    }
+
+
+def run_micro(
+    scenarios: list[str] | None = None,
+    repeats: int = 3,
+    queries: tuple[str, ...] = MICRO_QUERIES,
+    log: Callable[[str], None] | None = None,
+) -> dict:
+    """Run the micro-benchmark grid and return the artifact payload."""
+    if scenarios is None:
+        scenarios = micro_scenario_names()
+    reduced = reduce_mapping(genome_mapping())
+    results: dict[str, dict] = {}
+    for name in scenarios:
+        started = time.perf_counter()
+        results[name] = run_micro_scenario(
+            name, reduced=reduced, repeats=repeats, queries=queries
+        )
+        if log is not None:
+            row = results[name]
+            log(
+                f"{name:>4}: exchange {row['exchange_s']['total']:.3f}s  "
+                f"program-build {row['query_s']['program_build']:.3f}s  "
+                f"solve {row['query_s']['solve']:.3f}s  "
+                f"({time.perf_counter() - started:.1f}s wall)"
+            )
+    return {
+        "kind": "repro-micro-benchmark",
+        "repeats": repeats,
+        "queries": list(queries),
+        "scenarios": results,
+    }
+
+
+def format_micro_table(payload: dict) -> str:
+    """Render a micro-benchmark payload as an aligned table."""
+    rows = []
+    for name, row in payload["scenarios"].items():
+        rows.append(
+            [
+                name,
+                row["counts"]["source_facts"],
+                row["counts"]["groundings"],
+                row["counts"]["suspect_source_facts"],
+                f"{row['exchange_s']['total']:.3f}",
+                f"{row['query_s']['program_build']:.3f}",
+                f"{row['query_s']['solve']:.3f}",
+            ]
+        )
+    return format_table(
+        ["scenario", "facts", "groundings", "suspects",
+         "exchange[s]", "build[s]", "solve[s]"],
+        rows,
+        title=f"micro-benchmark medians over {payload['repeats']} repeat(s)",
+    )
+
+
+def compare_payloads(before: dict, after: dict) -> dict:
+    """Per-scenario speedups (before/after, >1 = faster) for the stages
+    the acceptance criteria track."""
+    speedups: dict[str, dict[str, float]] = {}
+    for name, after_row in after["scenarios"].items():
+        before_row = before["scenarios"].get(name)
+        if before_row is None:
+            continue
+        entry: dict[str, float] = {}
+        pairs = [
+            ("exchange", before_row["exchange_s"]["total"],
+             after_row["exchange_s"]["total"]),
+            ("program_build", before_row["query_s"]["program_build"],
+             after_row["query_s"]["program_build"]),
+            ("solve", before_row["query_s"]["solve"],
+             after_row["query_s"]["solve"]),
+            (
+                "exchange_plus_build",
+                before_row["exchange_s"]["total"]
+                + before_row["query_s"]["program_build"],
+                after_row["exchange_s"]["total"]
+                + after_row["query_s"]["program_build"],
+            ),
+        ]
+        for stage, before_s, after_s in pairs:
+            entry[stage] = round(before_s / after_s, 3) if after_s > 0 else float("inf")
+        speedups[name] = entry
+    return speedups

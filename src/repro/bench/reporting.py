@@ -1,12 +1,20 @@
-"""Plain-text table and series formatting for benchmark output.
+"""Plain-text table and series formatting, plus JSON benchmark artifacts.
 
 The benchmarks print the same rows/series the paper's tables and figures
 report; these helpers keep the output aligned and diff-friendly.
+:func:`write_benchmark_json` writes machine-readable artifacts in the
+style of ``pytest-benchmark``'s ``--benchmark-json`` (a ``machine_info``
+header plus a payload), used by the micro-benchmarks to seed the perf
+trajectory (``BENCH_PR3.json``).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Sequence
 
 
 def format_table(
@@ -36,3 +44,45 @@ def format_series(
     """Render one figure series as ``name: x=y`` pairs (one per point)."""
     body = "  ".join(f"{x}={y:.3f}{unit}" for x, y in points)
     return f"{name}: {body}"
+
+
+def machine_info() -> dict[str, str]:
+    """The machine/context header embedded in every JSON artifact.
+
+    Mirrors pytest-benchmark's ``machine_info`` so downstream tooling can
+    treat both artifact families uniformly.  Timings from different
+    machines are not comparable — consumers should check this header.
+    """
+    return {
+        "python_implementation": platform.python_implementation(),
+        "python_version": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "release": platform.release(),
+        "processor": platform.processor(),
+    }
+
+
+def write_benchmark_json(
+    path: str | Path, payload: dict[str, Any], *, indent: int = 2
+) -> Path:
+    """Write ``payload`` as a benchmark artifact with a machine header.
+
+    The artifact is ``{"machine_info": ..., **payload}``, serialized with
+    sorted keys so repeated runs produce byte-stable diffs (modulo the
+    timing values themselves).
+    """
+    path = Path(path)
+    document = {"machine_info": machine_info(), **payload}
+    path.write_text(json.dumps(document, indent=indent, sort_keys=True) + "\n")
+    return path
+
+
+def read_benchmark_json(path: str | Path) -> dict[str, Any]:
+    """Load an artifact previously written by :func:`write_benchmark_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def print_flush(message: str) -> None:
+    """A ``log`` callback that prints and flushes (for long-running runs)."""
+    print(message, file=sys.stdout, flush=True)

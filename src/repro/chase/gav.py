@@ -13,11 +13,11 @@ basis of support sets (Definition 4) and of the Figure 1 program grounding.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.dependencies.tgds import TGD, SkolemTerm
 from repro.relational.instance import Fact, Instance
-from repro.relational.queries import Atom, match_atoms
+from repro.relational.queries import Atom, CompiledJoin, match_atoms
 from repro.relational.terms import Const, Variable
 
 
@@ -43,20 +43,67 @@ def _unify_atom_with_fact(
     return local
 
 
-def ground_head(rule: TGD, binding: dict[Variable, Any]) -> Fact:
-    """Instantiate the (single) head atom of a GAV rule under ``binding``."""
+_VAR, _CONST, _SKOLEM = 0, 1, 2
+
+
+def compile_head_grounder(rule: TGD) -> Callable[[dict[Variable, Any]], Fact]:
+    """A function instantiating the (single) GAV head under a binding.
+
+    The term kinds are classified once at compile time; the chase and the
+    grounder call the result once per derived binding, skipping the
+    per-term isinstance dispatch of the uncompiled path.
+    """
     atom = rule.head[0]
-    args = []
+    relation = atom.relation
+    ops: list[tuple[int, Any]] = []
     for term in atom.terms:
         if isinstance(term, Variable):
-            args.append(binding[term])
+            ops.append((_VAR, term))
         elif isinstance(term, Const):
-            args.append(term.value)
+            ops.append((_CONST, term.value))
         elif isinstance(term, SkolemTerm):
-            args.append(term.ground(binding))
+            ops.append((_SKOLEM, term))
         else:
             raise TypeError(f"unexpected head term {term!r}")
-    return Fact(atom.relation, args)
+
+    def ground(binding: dict[Variable, Any]) -> Fact:
+        return Fact(
+            relation,
+            [
+                binding[payload]
+                if kind == _VAR
+                else (payload if kind == _CONST else payload.ground(binding))
+                for kind, payload in ops
+            ],
+        )
+
+    return ground
+
+
+def compile_substituter(atom: Atom) -> Callable[[dict[Variable, Any]], Fact]:
+    """A function instantiating a body atom (variables/constants only)."""
+    relation = atom.relation
+    ops: list[tuple[bool, Any]] = []
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            ops.append((True, term))
+        elif isinstance(term, Const):
+            ops.append((False, term.value))
+        else:
+            raise TypeError(f"cannot ground term {term!r}")
+
+    def substitute(binding: dict[Variable, Any]) -> Fact:
+        return Fact(
+            relation,
+            [binding[payload] if is_var else payload for is_var, payload in ops],
+        )
+
+    return substitute
+
+
+def ground_head(rule: TGD, binding: dict[Variable, Any]) -> Fact:
+    """Instantiate the (single) head atom of a GAV rule under ``binding``."""
+    return compile_head_grounder(rule)(binding)
 
 
 def _check_rules(rules: Sequence[TGD]) -> None:
@@ -82,11 +129,19 @@ def gav_chase(
     work = instance.copy()
     delta = list(instance)
 
-    # Index rules by body relation so a delta fact only wakes relevant rules.
-    by_relation: dict[str, list[tuple[TGD, int]]] = {}
+    # Index rules by body relation so a delta fact only wakes relevant
+    # rules.  Per (rule, pivot): the pivot atom, the rest of the body, and
+    # the compiled head grounder; the join over the rest is compiled lazily
+    # on first use and reused for every later delta fact and round (its
+    # bound-variable set — the pivot's variables — never changes).
+    by_relation: dict[str, list[list]] = {}
+    grounders = {id(rule): compile_head_grounder(rule) for rule in rules}
     for rule in rules:
         for index, atom in enumerate(rule.body):
-            by_relation.setdefault(atom.relation, []).append((rule, index))
+            rest = [a for i, a in enumerate(rule.body) if i != index]
+            by_relation.setdefault(atom.relation, []).append(
+                [atom, rest, grounders[id(rule)], None]
+            )
 
     rounds = 0
     while delta:
@@ -95,16 +150,18 @@ def gav_chase(
             raise RuntimeError(f"gav_chase exceeded {max_rounds} rounds")
         next_delta: list[Fact] = []
         for fact in delta:
-            for rule, pivot in by_relation.get(fact.relation, ()):
-                seed = _unify_atom_with_fact(rule.body[pivot], fact, {})
+            for entry in by_relation.get(fact.relation, ()):
+                pivot_atom, rest, ground, join = entry
+                seed = _unify_atom_with_fact(pivot_atom, fact, {})
                 if seed is None:
                     continue
-                rest = [a for i, a in enumerate(rule.body) if i != pivot]
-                # Buffer heads: adding to `work` while match_atoms iterates
+                if join is None:
+                    join = CompiledJoin(work, rest, pivot_atom.variables())
+                    entry[3] = join
+                # Buffer heads: adding to `work` while the join iterates
                 # over it would mutate the live extension sets.
                 derived = [
-                    ground_head(rule, binding)
-                    for binding in match_atoms(work, rest, seed)
+                    ground(binding) for binding in join.bindings(work, seed)
                 ]
                 for head_fact in derived:
                     if work.add(head_fact):
@@ -128,9 +185,11 @@ def enumerate_groundings(
     """
     for rule in rules:
         seen: set[tuple[tuple[Fact, ...], Fact]] = set()
+        substituters = [compile_substituter(atom) for atom in rule.body]
+        ground = compile_head_grounder(rule)
         for binding in match_atoms(instance, list(rule.body)):
-            body_facts = tuple(atom.substitute(binding) for atom in rule.body)
-            head_fact = ground_head(rule, binding)
+            body_facts = tuple(sub(binding) for sub in substituters)
+            head_fact = ground(binding)
             if head_fact in body_facts:
                 continue
             key = (body_facts, head_fact)

@@ -134,6 +134,36 @@ def _command_fuzz(arguments) -> int:
     return 0 if summary.ok else 1
 
 
+def _command_bench(arguments) -> int:
+    from repro.bench.micro import (
+        MICRO_QUERIES,
+        format_micro_table,
+        run_micro,
+    )
+    from repro.bench.reporting import print_flush, write_benchmark_json
+
+    if not arguments.micro:
+        print("nothing to do: pass --micro (paper-style tables live in "
+              "benchmarks/, run them with pytest)", file=sys.stderr)
+        return 2
+    scenarios = arguments.scenarios.split(",") if arguments.scenarios else None
+    queries = (
+        tuple(arguments.queries.split(",")) if arguments.queries
+        else MICRO_QUERIES
+    )
+    payload = run_micro(
+        scenarios=scenarios,
+        repeats=arguments.repeats,
+        queries=queries,
+        log=print_flush,
+    )
+    print(format_micro_table(payload))
+    if arguments.json:
+        path = write_benchmark_json(arguments.json, payload)
+        print(f"% artifact written to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,6 +225,25 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--no-parallel", action="store_true",
                       help="skip the parallel-executor engine axis")
     fuzz.set_defaults(run=_command_fuzz)
+
+    bench = commands.add_parser(
+        "bench", help="micro-benchmarks of the deterministic hot paths"
+    )
+    bench.add_argument("--micro", action="store_true",
+                       help="run the exchange/program-build/solve "
+                       "micro-benchmark grid")
+    bench.add_argument("--scenarios", metavar="S0,M9,...",
+                       help="comma-separated scenario names (size letter + "
+                       "suspect percent; default: S/M/L × 0/3/9/20)")
+    bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                       help="repeats per scenario; medians are reported "
+                       "(default 3)")
+    bench.add_argument("--queries", metavar="ep2,xr2,...",
+                       help="comma-separated Table 3 query names for the "
+                       "query-phase stages (default ep2,xr2,xr4)")
+    bench.add_argument("--json", metavar="PATH",
+                       help="write the artifact payload to PATH")
+    bench.set_defaults(run=_command_bench)
     return parser
 
 

@@ -24,6 +24,7 @@ from repro.fuzz.generator import DEFAULT_CONFIG, FuzzConfig, random_scenario
 from repro.fuzz.render import Scenario, parse_scenario, render_scenario
 from repro.fuzz.xval import xval_scenario
 from repro.parser import parse_mapping, parse_program
+from repro.reduction.reduce import reduce_mapping
 from repro.relational.instance import Fact, Instance
 
 REPRO_SUFFIX = ".repro"
@@ -84,6 +85,70 @@ def replay_corpus(
         (path, replay(scenario, config))
         for path, scenario in load_corpus(directory)
     ]
+
+
+# ------------------------------------------------ golden answer records
+
+#: The checked-in golden-answer file, recorded on the pre-interning code
+#: path (PR 3) and replayed against every later rewrite of the exchange /
+#: program-build pipeline.
+GOLDEN_ANSWERS_FILE = "golden_answers.json"
+
+
+def _answer_rows(answers) -> list[str]:
+    """A stable fingerprint of an answer set: sorted reprs of its rows."""
+    return sorted(repr(tuple(row)) for row in answers)
+
+
+def scenario_answers(scenario: Scenario) -> dict[str, list[str]]:
+    """Answer fingerprints of one scenario across the engine matrix.
+
+    Covers both program encodings and both reasoning modes so a golden
+    file pins the full deterministic pipeline (exchange, envelopes,
+    program build, solving) — not just the default configuration.
+    """
+    from repro.xr.monolithic import MonolithicEngine
+    from repro.xr.segmentary import SegmentaryEngine
+
+    reduced = reduce_mapping(scenario.mapping)
+    out: dict[str, list[str]] = {}
+    segmentary = SegmentaryEngine(reduced, scenario.instance)
+    try:
+        out["segmentary_certain"] = _answer_rows(segmentary.answer(scenario.query))
+        out["segmentary_possible"] = _answer_rows(
+            segmentary.possible_answers(scenario.query)
+        )
+    finally:
+        segmentary.close()
+    monolithic = MonolithicEngine(reduced, scenario.instance)
+    out["monolithic_certain"] = _answer_rows(monolithic.answer(scenario.query))
+    figure1 = MonolithicEngine(reduced, scenario.instance, encoding="figure1")
+    out["figure1_certain"] = _answer_rows(figure1.answer(scenario.query))
+    return out
+
+
+def record_golden_answers(directory: str | Path) -> Path:
+    """(Re)record ``golden_answers.json`` for every repro in ``directory``.
+
+    Only run this deliberately (it *defines* the expected answers); the
+    regression test replays the corpus against the committed file.
+    """
+    import json
+
+    directory = Path(directory)
+    goldens = {
+        path.stem: scenario_answers(scenario)
+        for path, scenario in load_corpus(directory)
+    }
+    target = directory / GOLDEN_ANSWERS_FILE
+    target.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_golden_answers(directory: str | Path) -> dict[str, dict[str, list[str]]]:
+    import json
+
+    return json.loads((Path(directory) / GOLDEN_ANSWERS_FILE).read_text())
 
 
 # ------------------------------------------------- the checked-in corpus

@@ -61,46 +61,149 @@ class Atom:
         return Fact(self.relation, args)
 
 
-def _match_atom(
-    instance: Instance, atom: Atom, binding: dict[Variable, Any]
-) -> Iterator[dict[Variable, Any]]:
-    """Yield extensions of ``binding`` matching ``atom`` against ``instance``."""
-    # Pick an indexed position: a constant term or an already-bound variable.
-    probe_pos = -1
-    probe_val = None
-    for pos, term in enumerate(atom.terms):
-        if isinstance(term, Const):
-            probe_pos, probe_val = pos, term.value
-            break
-        if isinstance(term, Variable) and term in binding:
-            probe_pos, probe_val = pos, binding[term]
-            break
-    if probe_pos >= 0:
-        candidates: Iterable[Fact] = instance.lookup(atom.relation, probe_pos, probe_val)
-    else:
-        candidates = instance.facts_of(atom.relation)
+class _AtomMatcher:
+    """One join level, compiled for a fixed set of already-bound variables.
 
-    terms = atom.terms
-    for fact in candidates:
-        if len(fact.args) != len(terms):
-            continue
-        local: dict[Variable, Any] | None = dict(binding)
-        for term, value in zip(terms, fact.args):
+    Compilation classifies every term position once — the indexed probe,
+    required-value checks (constants and bound variables), equality joins
+    between repeated fresh variables, and the positions each fresh variable
+    binds — so the per-fact loop is plain tuple indexing with no isinstance
+    dispatch and no dict copy on failure.
+    """
+
+    __slots__ = (
+        "relation", "arity", "probe_pos", "probe_const", "probe_var",
+        "const_checks", "var_checks", "same", "binders",
+    )
+
+    def __init__(self, atom: Atom, bound_vars: set[Variable]):
+        self.relation = atom.relation
+        self.arity = len(atom.terms)
+        # Indexed probe: first position holding a constant or bound variable.
+        self.probe_pos = -1
+        self.probe_const: Any = None
+        self.probe_var: Variable | None = None
+        self.const_checks: list[tuple[int, Any]] = []
+        self.var_checks: list[tuple[int, Variable]] = []
+        self.same: list[tuple[int, int]] = []  # position == earlier position
+        self.binders: list[tuple[Variable, int]] = []  # fresh var <- position
+        first_of: dict[Variable, int] = {}
+        for pos, term in enumerate(atom.terms):
             if isinstance(term, Variable):
-                bound = local.get(term)
-                if bound is None and term not in local:
-                    local[term] = value
-                elif bound != value:
-                    local = None
-                    break
+                if term in bound_vars:
+                    if self.probe_pos < 0:
+                        self.probe_pos, self.probe_var = pos, term
+                    else:
+                        self.var_checks.append((pos, term))
+                else:
+                    earlier = first_of.get(term)
+                    if earlier is None:
+                        first_of[term] = pos
+                        self.binders.append((term, pos))
+                    else:
+                        self.same.append((pos, earlier))
             elif isinstance(term, Const):
-                if term.value != value:
-                    local = None
-                    break
+                if self.probe_pos < 0:
+                    self.probe_pos, self.probe_const = pos, term.value
+                else:
+                    self.const_checks.append((pos, term.value))
             else:
                 raise TypeError(f"unexpected term in body atom: {term!r}")
-        if local is not None:
+
+    def matches(
+        self, instance: Instance, binding: dict[Variable, Any]
+    ) -> Iterator[dict[Variable, Any]]:
+        """Yield extensions of ``binding`` matching the atom in ``instance``.
+
+        ``binding`` must bind (at least) the ``bound_vars`` the matcher was
+        compiled for, and no other variable of the atom.
+        """
+        if self.probe_var is not None:
+            candidates: Iterable[Fact] = instance.lookup(
+                self.relation, self.probe_pos, binding[self.probe_var]
+            )
+        elif self.probe_pos >= 0:
+            candidates = instance.lookup(
+                self.relation, self.probe_pos, self.probe_const
+            )
+        else:
+            candidates = instance.facts_of(self.relation)
+        # The index lookup guarantees equality at the probe position.
+        checks = self.const_checks
+        if self.var_checks:
+            checks = checks + [(pos, binding[var]) for pos, var in self.var_checks]
+        arity = self.arity
+        same = self.same
+        binders = self.binders
+        for fact in candidates:
+            args = fact.args
+            if len(args) != arity:
+                continue
+            matched = True
+            for pos, required in checks:
+                if args[pos] != required:
+                    matched = False
+                    break
+            if not matched:
+                continue
+            for pos, earlier in same:
+                if args[pos] != args[earlier]:
+                    matched = False
+                    break
+            if not matched:
+                continue
+            local = dict(binding)
+            for var, pos in binders:
+                local[var] = args[pos]
             yield local
+
+
+class CompiledJoin:
+    """A planned, compiled index nested-loop join.
+
+    Compile once per (atom list, bound-variable set), then run
+    :meth:`bindings` for every seed binding with exactly that key set —
+    the chase does this per (rule, pivot-atom) across all rounds, instead
+    of re-planning and re-classifying terms for every delta fact.
+    """
+
+    __slots__ = ("matchers",)
+
+    def __init__(
+        self,
+        instance: Instance,
+        atoms: Sequence[Atom],
+        bound_vars: set[Variable],
+    ):
+        order = plan_join_order(instance, atoms, set(bound_vars))
+        bound = set(bound_vars)
+        self.matchers: list[_AtomMatcher] = []
+        for atom in order:
+            self.matchers.append(_AtomMatcher(atom, bound))
+            bound |= atom.variables()
+
+    def bindings(
+        self, instance: Instance, binding: dict[Variable, Any]
+    ) -> Iterator[dict[Variable, Any]]:
+        """All extensions of ``binding`` satisfying every atom (explicit
+        backtracking stack, no recursion)."""
+        matchers = self.matchers
+        if not matchers:
+            yield dict(binding)
+            return
+        depth = len(matchers)
+        stack: list[Iterator[dict[Variable, Any]]] = [
+            matchers[0].matches(instance, binding)
+        ]
+        while stack:
+            extended = next(stack[-1], None)
+            if extended is None:
+                stack.pop()
+                continue
+            if len(stack) == depth:
+                yield extended
+            else:
+                stack.append(matchers[len(stack)].matches(instance, extended))
 
 
 def plan_join_order(
@@ -152,21 +255,8 @@ def match_atoms(
     if not atoms:
         yield dict(binding)
         return
-
-    order = plan_join_order(instance, atoms, set(binding))
-    depth = len(order)
-    stack: list[Iterator[dict[Variable, Any]]] = [
-        _match_atom(instance, order[0], binding)
-    ]
-    while stack:
-        extended = next(stack[-1], None)
-        if extended is None:
-            stack.pop()
-            continue
-        if len(stack) == depth:
-            yield extended
-        else:
-            stack.append(_match_atom(instance, order[len(stack)], extended))
+    join = CompiledJoin(instance, atoms, set(binding))
+    yield from join.bindings(instance, binding)
 
 
 class ConjunctiveQuery:

@@ -37,12 +37,15 @@ class Variable:
     """A first-order variable, used in queries and dependencies.
 
     Variables are compared by name: two ``Variable("x")`` objects are equal.
+    The hash is computed once: variables serve as binding-dict keys in the
+    innermost loops of the chase and the grounder.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __init__(self, name: str):
         self.name = name
+        self._hash = hash(("var", name))
 
     def __repr__(self) -> str:
         return f"?{self.name}"
@@ -51,7 +54,12 @@ class Variable:
         return isinstance(other, Variable) and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash(("var", self.name))
+        return self._hash
+
+    def __reduce__(self):
+        # Rebuild through __init__ so _hash is recomputed on unpickle
+        # (str hashes are salted per interpreter; see Fact.__reduce__).
+        return (Variable, (self.name,))
 
 
 class Const:
@@ -84,10 +92,11 @@ class Null:
     to create a globally fresh one.
     """
 
-    __slots__ = ("label",)
+    __slots__ = ("label", "_hash")
 
     def __init__(self, label: int | str):
         self.label = label
+        self._hash = hash(("null", label))
 
     def __repr__(self) -> str:
         return f"N{self.label}"
@@ -96,7 +105,11 @@ class Null:
         return isinstance(other, Null) and self.label == other.label
 
     def __hash__(self) -> int:
-        return hash(("null", self.label))
+        return self._hash
+
+    def __reduce__(self):
+        # Rebuild through __init__ so _hash is recomputed on unpickle.
+        return (Null, (self.label,))
 
 
 class SkolemValue:

@@ -14,55 +14,82 @@ Definitions implemented here (numbers refer to the paper):
   closures share source facts are grouped; distinct clusters have disjoint
   source envelopes and are therefore pairwise-independent, so their repairs
   can be explored separately and recombined.
+
+All closures run over the interned integer universe of
+:class:`~repro.xr.exchange.ExchangeData` (``groundings_by_head`` /
+``occurs_in_body`` adjacency arrays); the fact-set entry points are thin
+wrappers kept for callers that hold facts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.chase.gav import gav_chase
 from repro.relational.instance import Fact, Instance
 from repro.xr.exchange import ExchangeData, Violation
 
 
+def support_closure_ids(seed_ids: set[int], data: ExchangeData) -> set[int]:
+    """Backward closure over fact ids (Def. 4)."""
+    closure = set(seed_ids)
+    frontier = list(seed_ids)
+    groundings_by_head = data.groundings_by_head
+    bodies = data.grounding_bodies
+    while frontier:
+        fact_id = frontier.pop()
+        for grounding_index in groundings_by_head[fact_id]:
+            for body_id in bodies[grounding_index]:
+                if body_id not in closure:
+                    closure.add(body_id)
+                    frontier.append(body_id)
+    return closure
+
+
+def influence_ids(seed_ids: set[int], data: ExchangeData) -> set[int]:
+    """Forward closure over fact ids (Def. 7)."""
+    influenced = set(seed_ids)
+    frontier = list(seed_ids)
+    occurs = data.occurs_in_body
+    heads = data.grounding_heads
+    while frontier:
+        fact_id = frontier.pop()
+        for grounding_index in occurs[fact_id]:
+            head_id = heads[grounding_index]
+            if head_id not in influenced:
+                influenced.add(head_id)
+                frontier.append(head_id)
+    return influenced
+
+
 def support_closure(facts: set[Fact], data: ExchangeData) -> set[Fact]:
     """The support closure (Def. 4): smallest superset closed under supports."""
-    closure = set(facts)
-    frontier = list(facts)
-    while frontier:
-        fact = frontier.pop()
-        for grounding_index in data.supports_of.get(fact, ()):
-            _rule, body_facts, _head = data.groundings[grounding_index]
-            for body_fact in body_facts:
-                if body_fact not in closure:
-                    closure.add(body_fact)
-                    frontier.append(body_fact)
-    return closure
+    closure_ids = support_closure_ids(data.id_set(facts), data)
+    return {data.facts_by_id[fact_id] for fact_id in closure_ids}
 
 
 def influence(seed: set[Fact], data: ExchangeData) -> set[Fact]:
     """The influence (Def. 7): forward closure through support sets."""
-    influenced = set(seed)
-    frontier = list(seed)
-    while frontier:
-        fact = frontier.pop()
-        for grounding_index in data.occurs_in_body_of.get(fact, ()):
-            _rule, _body, head_fact = data.groundings[grounding_index]
-            if head_fact not in influenced:
-                influenced.add(head_fact)
-                frontier.append(head_fact)
-    return influenced
+    influenced = influence_ids(data.id_set(seed), data)
+    return {data.facts_by_id[fact_id] for fact_id in influenced}
 
 
 @dataclass
 class ViolationCluster:
-    """A connected component of pairwise-dependent violations."""
+    """A connected component of pairwise-dependent violations.
+
+    The fact-set fields mirror the paper's definitions; the ``*_ids``
+    fields are the interned equivalents the query phase works with.
+    """
 
     index: int
     violations: list[Violation]
     closure: set[Fact]  # union of the violations' support closures
     source_envelope: set[Fact] = field(default_factory=set)
     influence: set[Fact] = field(default_factory=set)
+    violation_indexes: list[int] = field(default_factory=list)
+    closure_ids: frozenset[int] = frozenset()
+    source_envelope_ids: frozenset[int] = frozenset()
+    influence_ids: frozenset[int] = frozenset()
 
 
 @dataclass
@@ -74,14 +101,20 @@ class EnvelopeAnalysis:
     safe_source: set[Fact]
     clusters: list[ViolationCluster]
     safe_chased: Instance  # Isafe ∪ chase(Isafe): everything certainly kept
+    # Interned ids of every fact of ``safe_chased`` (all lie in the chased
+    # universe: the safe chase is a sub-chase of the full one).
+    safe_ids: frozenset[int] = frozenset()
     # fact -> indexes of clusters whose influence contains it.
     cluster_membership: dict[Fact, set[int]] = field(default_factory=dict)
 
     def signature(self, support_facts: set[Fact]) -> frozenset[int]:
         """The signature (§6.4) of a candidate given its support-set facts."""
         clusters: set[int] = set()
+        membership = self.cluster_membership
         for fact in support_facts:
-            clusters |= self.cluster_membership.get(fact, set())
+            found = membership.get(fact)
+            if found is not None:
+                clusters |= found
         return frozenset(clusters)
 
     def is_safe_fact(self, fact: Fact) -> bool:
@@ -106,29 +139,70 @@ class _UnionFind:
             self.parent[right_root] = left_root
 
 
+def derivable_ids(seed_ids: set[int], data: ExchangeData) -> set[int]:
+    """Fact ids derivable from ``seed_ids`` by firing groundings (a chase
+    over the precomputed adjacency).
+
+    A grounding fires when its whole (deduplicated) body is derived; the
+    count-down propagation visits each grounding body edge once
+    (Dowling–Gallier).  Equals ``chase(seed)`` restricted to the universe:
+    every chase derivation from a sub-instance of the chased instance is a
+    recorded grounding, and the tautological groundings dropped by the
+    grounder never contribute a new fact.
+    """
+    remaining = [len(body) for body in data.grounding_bodies]
+    heads = data.grounding_heads
+    occurs = data.occurs_in_body
+    derived = set(seed_ids)
+    frontier = list(seed_ids)
+    for index, count in enumerate(remaining):
+        if count == 0:
+            head_id = heads[index]
+            if head_id not in derived:
+                derived.add(head_id)
+                frontier.append(head_id)
+    while frontier:
+        fact_id = frontier.pop()
+        for index in occurs[fact_id]:
+            remaining[index] -= 1
+            if remaining[index] == 0:
+                head_id = heads[index]
+                if head_id not in derived:
+                    derived.add(head_id)
+                    frontier.append(head_id)
+    return derived
+
+
 def analyze_envelopes(data: ExchangeData) -> EnvelopeAnalysis:
     """Run the exchange-phase analysis of Section 6 on exchange data."""
-    source_facts = data.source_facts
+    facts_by_id = data.facts_by_id
+    source_mask = data.source_id_mask
 
-    # Per-violation support closures and the suspect set.
+    # Per-violation support closures and the suspect set (all in id space).
     violation_closures = [
-        support_closure(set(v.body_facts), data) for v in data.violations
+        support_closure_ids(set(body_ids), data)
+        for body_ids in data.violation_bodies
     ]
-    suspect_source: set[Fact] = set()
+    suspect_ids: set[int] = set()
     for closure in violation_closures:
-        suspect_source |= closure & source_facts
-    safe_source = source_facts - suspect_source
+        for fact_id in closure:
+            if source_mask[fact_id]:
+                suspect_ids.add(fact_id)
+    suspect_source = {facts_by_id[fact_id] for fact_id in suspect_ids}
+    safe_source = data.source_facts - suspect_source
 
     # Cluster violations that share a suspect source fact (Prop. 5/6: the
     # source restrictions of the closures are repair envelopes; overlap
     # means possible dependence).
     union_find = _UnionFind(len(data.violations))
-    owner_of: dict[Fact, int] = {}
+    owner_of: dict[int, int] = {}
     for index, closure in enumerate(violation_closures):
-        for fact in closure & source_facts:
-            previous = owner_of.get(fact)
+        for fact_id in closure:
+            if not source_mask[fact_id]:
+                continue
+            previous = owner_of.get(fact_id)
             if previous is None:
-                owner_of[fact] = index
+                owner_of[fact_id] = index
             else:
                 union_find.union(previous, index)
 
@@ -138,20 +212,38 @@ def analyze_envelopes(data: ExchangeData) -> EnvelopeAnalysis:
 
     clusters: list[ViolationCluster] = []
     for cluster_index, member_indexes in enumerate(sorted(grouped.values())):
-        closure: set[Fact] = set()
+        closure_ids: set[int] = set()
         for violation_index in member_indexes:
-            closure |= violation_closures[violation_index]
-        cluster = ViolationCluster(
-            index=cluster_index,
-            violations=[data.violations[i] for i in member_indexes],
-            closure=closure,
-            source_envelope=closure & source_facts,
+            closure_ids |= violation_closures[violation_index]
+        envelope_ids = frozenset(
+            fact_id for fact_id in closure_ids if source_mask[fact_id]
         )
-        cluster.influence = influence(cluster.source_envelope, data)
-        clusters.append(cluster)
+        cluster_influence_ids = frozenset(
+            influence_ids(set(envelope_ids), data)
+        )
+        clusters.append(
+            ViolationCluster(
+                index=cluster_index,
+                violations=[data.violations[i] for i in member_indexes],
+                closure={facts_by_id[i] for i in closure_ids},
+                source_envelope={facts_by_id[i] for i in envelope_ids},
+                influence={facts_by_id[i] for i in cluster_influence_ids},
+                violation_indexes=list(member_indexes),
+                closure_ids=frozenset(closure_ids),
+                source_envelope_ids=envelope_ids,
+                influence_ids=cluster_influence_ids,
+            )
+        )
 
-    safe_chased = gav_chase(
-        Instance(safe_source), list(data.mapping.all_tgds())
+    # Isafe ∪ chase(Isafe), via grounding propagation instead of re-chasing
+    # the safe sources (the chase re-runs the pattern-matching joins; the
+    # propagation walks the adjacency already in hand).
+    safe_source_ids = {
+        data.fact_ids[fact] for fact in data.source_instance
+    } - suspect_ids
+    safe_id_set = derivable_ids(safe_source_ids, data)
+    safe_chased = Instance(
+        facts_by_id[fact_id] for fact_id in sorted(safe_id_set)
     )
 
     analysis = EnvelopeAnalysis(
@@ -160,8 +252,12 @@ def analyze_envelopes(data: ExchangeData) -> EnvelopeAnalysis:
         safe_source=safe_source,
         clusters=clusters,
         safe_chased=safe_chased,
+        safe_ids=frozenset(safe_id_set),
     )
+    membership = analysis.cluster_membership
     for cluster in clusters:
-        for fact in cluster.influence:
-            analysis.cluster_membership.setdefault(fact, set()).add(cluster.index)
+        for fact_id in cluster.influence_ids:
+            membership.setdefault(facts_by_id[fact_id], set()).add(
+                cluster.index
+            )
     return analysis

@@ -14,6 +14,7 @@ Both engines start the same way (for a reduced ``gav+(gav, egd)`` mapping):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.chase.gav import enumerate_groundings, gav_chase
@@ -43,7 +44,18 @@ class Violation:
 
 @dataclass
 class ExchangeData:
-    """The query-independent exchange computation for a gav mapping."""
+    """The query-independent exchange computation for a gav mapping.
+
+    Besides the fact-level artifacts (chase, groundings, violations), the
+    exchange data owns an **interned integer universe**: every chased fact
+    gets a dense id, and all adjacency needed by the closures and program
+    builders is precomputed as int-keyed arrays — ``groundings_by_head``
+    (grounding indexes with the fact as head; support sets flowing
+    *backward*), ``occurs_in_body`` (grounding indexes with the fact in
+    the body; influence flowing *forward*), and ``violations_by_fact``.
+    Downstream hot loops traverse these arrays instead of re-hashing
+    :class:`Fact` tuples or rescanning the grounding/violation lists.
+    """
 
     mapping: SchemaMapping
     source_instance: Instance
@@ -54,6 +66,31 @@ class ExchangeData:
     # flowing *forward*) and with the fact as the head (supports of the fact).
     supports_of: dict[Fact, list[int]] = field(default_factory=dict)
     occurs_in_body_of: dict[Fact, list[int]] = field(default_factory=dict)
+    # ----------------------------------------------- interned universe
+    # fact -> dense id (0-based) and its inverse.
+    fact_ids: dict[Fact, int] = field(default_factory=dict)
+    facts_by_id: list[Fact] = field(default_factory=list)
+    # Per grounding: deduplicated body fact ids (first-occurrence order)
+    # and the head fact id.
+    grounding_bodies: list[tuple[int, ...]] = field(default_factory=list)
+    grounding_heads: list[int] = field(default_factory=list)
+    # fact id -> grounding indexes (head side / body side).
+    groundings_by_head: list[list[int]] = field(default_factory=list)
+    occurs_in_body: list[list[int]] = field(default_factory=list)
+    # Per violation: deduplicated body fact ids; fact id -> violation idxs.
+    violation_bodies: list[tuple[int, ...]] = field(default_factory=list)
+    violations_by_fact: list[list[int]] = field(default_factory=list)
+    # fact id -> True iff the fact belongs to a source relation.
+    source_id_mask: list[bool] = field(default_factory=list)
+    # Memoized per-fact forward closures (influence of a single fact);
+    # shared by every program build over this exchange data.
+    _influence_cache: dict[int, frozenset[int]] = field(default_factory=dict)
+    _source_names: frozenset[str] = field(
+        default_factory=frozenset, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        self._source_names = frozenset(self.mapping.source.names())
 
     @property
     def source_facts(self) -> set[Fact]:
@@ -66,6 +103,69 @@ class ExchangeData:
     def quasi_solution(self) -> Instance:
         """The canonical quasi-solution (target restriction of the chase)."""
         return self.chased.restrict(self.mapping.target.names())
+
+    # ------------------------------------------------- interning helpers
+
+    def intern_fact(self, fact: Fact) -> int:
+        """The id of ``fact``, extending the universe if it is new.
+
+        Facts outside the chased instance (only seen when callers pass
+        hand-built focus/safe sets) get fresh ids with empty adjacency, so
+        membership tests against them behave like the old set-of-Fact
+        code paths.
+        """
+        fact_id = self.fact_ids.get(fact)
+        if fact_id is None:
+            fact_id = len(self.facts_by_id)
+            self.fact_ids[fact] = fact_id
+            self.facts_by_id.append(fact)
+            self.groundings_by_head.append([])
+            self.occurs_in_body.append([])
+            self.violations_by_fact.append([])
+            self.source_id_mask.append(fact.relation in self._source_names)
+        return fact_id
+
+    def id_of(self, fact: Fact) -> int | None:
+        return self.fact_ids.get(fact)
+
+    def fact_of(self, fact_id: int) -> Fact:
+        return self.facts_by_id[fact_id]
+
+    def id_set(self, facts) -> set[int]:
+        """Intern a collection of facts into a set of ids."""
+        intern = self.intern_fact
+        return {intern(fact) for fact in facts}
+
+    def violation_body_ids(self, violation: Violation) -> tuple[int, ...]:
+        """The deduplicated body fact ids of one violation."""
+        return tuple(
+            dict.fromkeys(self.intern_fact(f) for f in violation.body_facts)
+        )
+
+    def influence_ids_of(self, fact_id: int) -> frozenset[int]:
+        """Forward closure of one fact through support sets, memoized.
+
+        The per-suspect side chases of the repair program and the
+        envelope influences both need these; caching them means each
+        fact's closure is walked at most once per exchange.
+        """
+        cached = self._influence_cache.get(fact_id)
+        if cached is not None:
+            return cached
+        influenced = {fact_id}
+        frontier = [fact_id]
+        occurs = self.occurs_in_body
+        heads = self.grounding_heads
+        while frontier:
+            current = frontier.pop()
+            for index in occurs[current]:
+                head_id = heads[index]
+                if head_id not in influenced:
+                    influenced.add(head_id)
+                    frontier.append(head_id)
+        result = frozenset(influenced)
+        self._influence_cache[fact_id] = result
+        return result
 
 
 def find_violations(mapping: SchemaMapping, chased: Instance) -> list[Violation]:
@@ -111,26 +211,82 @@ def find_violations(mapping: SchemaMapping, chased: Instance) -> list[Violation]
 
 
 def build_exchange_data(
-    mapping: SchemaMapping, source_instance: Instance
+    mapping: SchemaMapping,
+    source_instance: Instance,
+    timings: dict[str, float] | None = None,
 ) -> ExchangeData:
-    """Chase, ground, and detect violations for a ``gav+(gav, egd)`` mapping."""
+    """Chase, ground, and detect violations for a ``gav+(gav, egd)`` mapping.
+
+    When ``timings`` is a dict, per-stage wall-clock seconds are recorded
+    into it under ``chase`` / ``groundings`` / ``violations`` / ``index``
+    (used by the micro-benchmarks; answer-neutral).
+    """
     if not mapping.is_gav_gav_egd():
         raise ValueError(
             "exchange data requires a gav+(gav, egd) mapping; "
             "run reduce_mapping first"
         )
+    clock = time.perf_counter
     tgds = list(mapping.all_tgds())
+    started = clock()
     chased = gav_chase(source_instance, tgds)
+    chased_at = clock()
     groundings = list(enumerate_groundings(tgds, chased))
+    grounded_at = clock()
+    violations = find_violations(mapping, chased)
+    violations_at = clock()
     data = ExchangeData(
         mapping=mapping,
         source_instance=source_instance,
         chased=chased,
         groundings=groundings,
-        violations=find_violations(mapping, chased),
+        violations=violations,
     )
-    for index, (_rule, body_facts, head_fact) in enumerate(groundings):
-        data.supports_of.setdefault(head_fact, []).append(index)
-        for fact in set(body_facts):
-            data.occurs_in_body_of.setdefault(fact, []).append(index)
+    _build_fact_indexes(data)
+    if timings is not None:
+        indexed_at = clock()
+        timings["chase"] = chased_at - started
+        timings["groundings"] = grounded_at - chased_at
+        timings["violations"] = violations_at - grounded_at
+        timings["index"] = indexed_at - violations_at
     return data
+
+
+def _build_fact_indexes(data: ExchangeData) -> None:
+    """Intern the chased facts and build every int-keyed adjacency index.
+
+    One pass over the chase, one over the groundings, one over the
+    violations; everything downstream (closures, envelopes, program
+    builders) then works on dense ids.  The legacy fact-keyed
+    ``supports_of`` / ``occurs_in_body_of`` views are populated from the
+    same pass for external callers.
+    """
+    intern = data.intern_fact
+    for fact in data.chased:
+        intern(fact)
+
+    groundings_by_head = data.groundings_by_head
+    occurs_in_body = data.occurs_in_body
+    supports_of = data.supports_of
+    occurs_in_body_of = data.occurs_in_body_of
+    for index, (_rule, body_facts, head_fact) in enumerate(data.groundings):
+        head_id = intern(head_fact)
+        body_ids = tuple(dict.fromkeys(intern(f) for f in body_facts))
+        data.grounding_bodies.append(body_ids)
+        data.grounding_heads.append(head_id)
+        groundings_by_head[head_id].append(index)
+        supports_of.setdefault(head_fact, []).append(index)
+        for body_id in body_ids:
+            occurs_in_body[body_id].append(index)
+            occurs_in_body_of.setdefault(
+                data.facts_by_id[body_id], []
+            ).append(index)
+
+    violations_by_fact = data.violations_by_fact
+    for index, violation in enumerate(data.violations):
+        body_ids = tuple(
+            dict.fromkeys(intern(f) for f in violation.body_facts)
+        )
+        data.violation_bodies.append(body_ids)
+        for body_id in body_ids:
+            violations_by_fact[body_id].append(index)

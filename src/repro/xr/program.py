@@ -32,11 +32,21 @@ Stable models correspond exactly to source repairs; cautious truth of the
 query atoms is XR-Certain membership.  Both builders accept the segmentary
 ``focus``/``safe`` restriction of Section 6.4 (safe facts are represented by
 the value *true*).
+
+Implementation note: both builders run over the **interned id universe** of
+:class:`~repro.xr.exchange.ExchangeData`.  Focus/safe sets are normalized to
+int sets once (callers holding ids — the segmentary engine — pass
+``focus_ids``/``safe_ids`` directly and skip the conversion); every inner
+loop then tests membership on machine ints and walks the precomputed
+``groundings_by_head``/``occurs_in_body`` adjacency instead of rescanning
+the grounding and violation lists per suspect, which was the measured
+quadratic blowup at high suspect rates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.asp.syntax import AtomTable, GroundProgram, GroundRule
 from repro.relational.instance import Fact
@@ -58,31 +68,98 @@ class XRProgram:
     trivially_certain: set[Fact] = field(default_factory=set)
 
 
+class _Emitter:
+    """Dedup-and-append rule emission over raw (head, pos, neg) tuples.
+
+    Hashes three int tuples per rule instead of a :class:`GroundRule`
+    dataclass (whose ``__hash__`` re-derives the same tuple hash through
+    dataclass machinery on every probe).
+    """
+
+    __slots__ = ("program", "seen")
+
+    def __init__(self, program: GroundProgram):
+        self.program = program
+        self.seen: set[tuple] = set()
+
+    def __call__(
+        self,
+        head: tuple[int, ...],
+        body_pos: tuple[int, ...] = (),
+        body_neg: tuple[int, ...] = (),
+    ) -> None:
+        key = (head, body_pos, body_neg)
+        if key not in self.seen:
+            self.seen.add(key)
+            self.program.add_rule(
+                GroundRule(head=head, body_pos=body_pos, body_neg=body_neg)
+            )
+
+
+def _normalize_scope(
+    data: ExchangeData,
+    focus: set[Fact] | None,
+    safe: set[Fact] | None,
+    focus_ids: set[int] | frozenset[int] | None,
+    safe_ids: set[int] | frozenset[int] | None,
+) -> tuple[set[int], set[int]]:
+    """Resolve the focus/safe scope to id sets (interning stray facts)."""
+    if focus_ids is None:
+        if focus is None:
+            focus_ids = data.id_set(data.chased)
+        else:
+            focus_ids = data.id_set(focus)
+    else:
+        focus_ids = set(focus_ids)
+    if safe_ids is None:
+        safe_ids = data.id_set(safe) if safe else set()
+    else:
+        safe_ids = set(safe_ids)
+    return focus_ids, safe_ids
+
+
+def _normalize_violations(
+    data: ExchangeData, violations: list[Violation] | None
+) -> list[tuple[Violation, tuple[int, ...]]]:
+    """Pair each violation with its deduplicated body id tuple."""
+    if violations is None:
+        return list(zip(data.violations, data.violation_bodies))
+    return [(v, data.violation_body_ids(v)) for v in violations]
+
+
 def _emit_query_rules(
     result: XRProgram,
-    emit,
-    atoms: AtomTable,
+    emit: _Emitter,
+    data: ExchangeData,
+    remains_atom,
     query_groundings,
-    available: set[Fact],
-    safe: set[Fact],
+    available_ids: set[int],
+    safe_ids: set[int],
 ) -> None:
     """Shared query-rule emission: ``q ← remains(support set)``."""
+    atoms = result.program.atoms
+    id_of = data.fact_ids.get
     for query_fact, body_facts in query_groundings or ():
-        if any(fact not in available for fact in body_facts):
+        body_ids = []
+        in_scope = True
+        for fact in body_facts:
+            fact_id = id_of(fact)
+            if fact_id is None or fact_id not in available_ids:
+                in_scope = False
+                break
+            body_ids.append(fact_id)
+        if not in_scope:
             continue
-        focus_body = tuple(dict.fromkeys(f for f in body_facts if f not in safe))
+        focus_body = tuple(
+            dict.fromkeys(i for i in body_ids if i not in safe_ids)
+        )
         query_id = atoms.intern(query_fact)
         result.query_atoms[query_fact] = query_id
         if not focus_body:
             result.trivially_certain.add(query_fact)
-            emit(GroundRule(head=(query_id,)))
+            emit((query_id,))
             continue
-        emit(
-            GroundRule(
-                head=(query_id,),
-                body_pos=tuple(atoms.intern(remains(f)) for f in focus_body),
-            )
-        )
+        emit((query_id,), tuple(remains_atom(i) for i in focus_body))
 
 
 # ---------------------------------------------------------------------------
@@ -90,42 +167,35 @@ def _emit_query_rules(
 # ---------------------------------------------------------------------------
 
 
-def _suspect_sources(
-    data: ExchangeData, violations: list[Violation], within: set[Fact]
-) -> set[Fact]:
-    """Source facts inside ``within`` lying in a violation's support closure."""
-    source_names = data.mapping.source.names()
-    closure: set[Fact] = set()
-    frontier: list[Fact] = []
-    for violation in violations:
-        for fact in violation.body_facts:
-            if fact not in closure:
-                closure.add(fact)
-                frontier.append(fact)
+def _suspect_source_ids(
+    data: ExchangeData,
+    violation_bodies: Iterable[tuple[int, ...]],
+    within_ids: set[int],
+) -> set[int]:
+    """Source fact ids inside ``within_ids`` lying in a violation's support
+    closure (backward closure walked over the id adjacency)."""
+    closure: set[int] = set()
+    frontier: list[int] = []
+    for body_ids in violation_bodies:
+        for fact_id in body_ids:
+            if fact_id not in closure:
+                closure.add(fact_id)
+                frontier.append(fact_id)
+    groundings_by_head = data.groundings_by_head
+    bodies = data.grounding_bodies
     while frontier:
-        fact = frontier.pop()
-        for index in data.supports_of.get(fact, ()):
-            for body_fact in data.groundings[index][1]:
-                if body_fact not in closure:
-                    closure.add(body_fact)
-                    frontier.append(body_fact)
+        fact_id = frontier.pop()
+        for index in groundings_by_head[fact_id]:
+            for body_id in bodies[index]:
+                if body_id not in closure:
+                    closure.add(body_id)
+                    frontier.append(body_id)
+    source_mask = data.source_id_mask
     return {
-        f for f in closure if f.relation in source_names and f in within
+        fact_id
+        for fact_id in closure
+        if source_mask[fact_id] and fact_id in within_ids
     }
-
-
-def _influence_of(data: ExchangeData, fact: Fact) -> set[Fact]:
-    """Forward closure of a single fact through support sets."""
-    influenced = {fact}
-    frontier = [fact]
-    while frontier:
-        current = frontier.pop()
-        for index in data.occurs_in_body_of.get(current, ()):
-            head = data.groundings[index][2]
-            if head not in influenced:
-                influenced.add(head)
-                frontier.append(head)
-    return influenced
 
 
 def build_repair_program(
@@ -134,142 +204,152 @@ def build_repair_program(
     focus: set[Fact] | None = None,
     safe: set[Fact] | None = None,
     violations: list[Violation] | None = None,
+    focus_ids: set[int] | frozenset[int] | None = None,
+    safe_ids: set[int] | frozenset[int] | None = None,
 ) -> XRProgram:
     """Build the repair-guess program (see module docstring).
 
     ``focus``/``safe`` restrict the program for the segmentary engine:
     only facts in ``focus`` are modelled, facts in ``safe`` are true, rules
-    touching other facts are dropped (independent clusters).
+    touching other facts are dropped (independent clusters).  Callers that
+    already hold interned ids pass ``focus_ids``/``safe_ids`` instead.
     """
-    source_names = data.mapping.source.names()
-    if focus is None:
-        focus = set(data.chased)
-    if safe is None:
-        safe = set()
-    if violations is None:
-        violations = data.violations
-    available = focus | safe
+    focus_ids, safe_ids = _normalize_scope(data, focus, safe, focus_ids, safe_ids)
+    scoped_violations = _normalize_violations(data, violations)
+    available = focus_ids | safe_ids
+
+    facts_by_id = data.facts_by_id
+    source_mask = data.source_id_mask
+    grounding_bodies = data.grounding_bodies
+    grounding_heads = data.grounding_heads
 
     program = GroundProgram(AtomTable())
     atoms = program.atoms
-    seen: set[GroundRule] = set()
+    emit = _Emitter(program)
 
-    def emit(rule: GroundRule) -> None:
-        if rule not in seen:
-            seen.add(rule)
-            program.add_rule(rule)
+    # Lazily interned per-fact atom ids for the "remains" copies (dense
+    # arrays over fact ids; 0 = not yet interned, real atom ids are >= 1).
+    remains_ids = [0] * len(facts_by_id)
 
-    suspects = _suspect_sources(data, violations, focus)
+    def remains_atom(fact_id: int) -> int:
+        atom_id = remains_ids[fact_id]
+        if not atom_id:
+            atom_id = atoms.intern(remains(facts_by_id[fact_id]))
+            remains_ids[fact_id] = atom_id
+        return atom_id
+
+    suspects = _suspect_source_ids(
+        data, (body for _v, body in scoped_violations), focus_ids
+    )
 
     # --- source layer: guesses for suspects, units for the rest.
-    for fact in focus:
-        if fact.relation not in source_names:
+    for fact_id in sorted(focus_ids):
+        if not source_mask[fact_id]:
             continue
-        remains_id = atoms.intern(remains(fact))
-        if fact in suspects:
-            emit(
-                GroundRule(
-                    head=(atoms.intern(deleted(fact)), remains_id),
-                )
-            )
+        remains_id = remains_atom(fact_id)
+        if fact_id in suspects:
+            emit((atoms.intern(deleted(facts_by_id[fact_id])), remains_id))
         else:
-            emit(GroundRule(head=(remains_id,)))
+            emit((remains_id,))
 
     # --- remains chase layer.
-    for _rule, body_facts, head_fact in data.groundings:
-        if head_fact in safe or head_fact not in focus:
+    for index, head_id in enumerate(grounding_heads):
+        if head_id in safe_ids or head_id not in focus_ids:
             continue
-        if any(fact not in available for fact in body_facts):
+        body_ids = grounding_bodies[index]
+        focus_body: list[int] = []
+        in_scope = True
+        for body_id in body_ids:
+            if body_id in safe_ids:
+                continue
+            if body_id not in focus_ids:
+                in_scope = False
+                break
+            focus_body.append(body_id)
+        if not in_scope:
             continue
-        focus_body = tuple(dict.fromkeys(f for f in body_facts if f not in safe))
-        head_id = atoms.intern(remains(head_fact))
+        head_atom = remains_atom(head_id)
         if not focus_body:
-            emit(GroundRule(head=(head_id,)))
+            emit((head_atom,))
             continue
-        emit(
-            GroundRule(
-                head=(head_id,),
-                body_pos=tuple(atoms.intern(remains(f)) for f in focus_body),
-            )
-        )
+        emit((head_atom,), tuple(remains_atom(i) for i in focus_body))
 
     # --- consistency: no violated egd body may remain entirely.
-    relevant_violations: list[Violation] = []
-    for violation in violations:
-        body_facts = tuple(dict.fromkeys(violation.body_facts))
-        if any(fact not in available for fact in body_facts):
+    relevant_violations: list[tuple[Violation, tuple[int, ...]]] = []
+    for violation, body_ids in scoped_violations:
+        if any(fact_id not in available for fact_id in body_ids):
             continue
-        relevant_violations.append(violation)
-        focus_body = tuple(f for f in body_facts if f not in safe)
+        relevant_violations.append((violation, body_ids))
+        focus_body = [i for i in body_ids if i not in safe_ids]
         if not focus_body:
             raise ValueError(
                 f"unrepairable violation: every fact of {violation!r} is safe"
             )
-        emit(
-            GroundRule(
-                head=(),
-                body_pos=tuple(atoms.intern(remains(f)) for f in focus_body),
-            )
-        )
+        emit((), tuple(remains_atom(i) for i in focus_body))
 
     # --- maximality: a deleted suspect must re-create some violation.
-    for suspect in suspects:
-        influence = _influence_of(data, suspect) & focus
-        conflict_id = atoms.intern(Fact(CONFLICT, (suspect,)))
+    for suspect in sorted(suspects):
+        influence = data.influence_ids_of(suspect) & focus_ids
+        suspect_fact = facts_by_id[suspect]
+        conflict_id = atoms.intern(Fact(CONFLICT, (suspect_fact,)))
 
-        def copy_atom(g: Fact) -> int:
-            return atoms.intern(Fact(WITH_FACT, (g, suspect)))
+        copy_ids = [0] * len(facts_by_id)
+
+        def copy_atom(fact_id: int) -> int:
+            atom_id = copy_ids[fact_id]
+            if not atom_id:
+                atom_id = atoms.intern(
+                    Fact(WITH_FACT, (facts_by_id[fact_id], suspect_fact))
+                )
+                copy_ids[fact_id] = atom_id
+            return atom_id
 
         # The added fact itself, and everything still remaining.
-        emit(GroundRule(head=(copy_atom(suspect),)))
-        for fact in influence:
-            if fact is suspect:
+        emit((copy_atom(suspect),))
+        for fact_id in sorted(influence):
+            if fact_id == suspect:
                 continue
-            emit(
-                GroundRule(
-                    head=(copy_atom(fact),),
-                    body_pos=(atoms.intern(remains(fact)),),
-                )
-            )
-        # Chase within the influence of the suspect.
-        for _rule, body_facts, head_fact in data.groundings:
-            if head_fact not in influence:
-                continue
-            if any(fact not in available for fact in body_facts):
-                continue
-            body_ids = []
-            for fact in dict.fromkeys(body_facts):
-                if fact == suspect or fact in safe:
+            emit((copy_atom(fact_id),), (remains_atom(fact_id),))
+        # Chase within the influence of the suspect: only groundings whose
+        # head lies in the influence can fire, and `groundings_by_head`
+        # yields exactly those (no full grounding rescan per suspect).
+        for head_id in sorted(influence):
+            for index in data.groundings_by_head[head_id]:
+                body_ids = grounding_bodies[index]
+                if any(fact_id not in available for fact_id in body_ids):
                     continue
-                if fact in influence:
-                    body_ids.append(copy_atom(fact))
-                else:
-                    body_ids.append(atoms.intern(remains(fact)))
-            emit(GroundRule(head=(copy_atom(head_fact),), body_pos=tuple(body_ids)))
+                rule_body: list[int] = []
+                for fact_id in body_ids:
+                    if fact_id == suspect or fact_id in safe_ids:
+                        continue
+                    if fact_id in influence:
+                        rule_body.append(copy_atom(fact_id))
+                    else:
+                        rule_body.append(remains_atom(fact_id))
+                emit((copy_atom(head_id),), tuple(rule_body))
         # Conflict detection against every relevant violation.
-        for violation in relevant_violations:
-            body_facts = tuple(dict.fromkeys(violation.body_facts))
-            if not any(fact in influence for fact in body_facts):
+        for _violation, body_ids in relevant_violations:
+            if not any(fact_id in influence for fact_id in body_ids):
                 continue  # unaffected by re-adding the suspect
-            body_ids = []
-            for fact in body_facts:
-                if fact in safe:
+            rule_body = []
+            for fact_id in body_ids:
+                if fact_id in safe_ids:
                     continue
-                if fact in influence:
-                    body_ids.append(copy_atom(fact))
+                if fact_id in influence:
+                    rule_body.append(copy_atom(fact_id))
                 else:
-                    body_ids.append(atoms.intern(remains(fact)))
-            emit(GroundRule(head=(conflict_id,), body_pos=tuple(body_ids)))
+                    rule_body.append(remains_atom(fact_id))
+            emit((conflict_id,), tuple(rule_body))
         emit(
-            GroundRule(
-                head=(),
-                body_pos=(atoms.intern(deleted(suspect)),),
-                body_neg=(conflict_id,),
-            )
+            (),
+            (atoms.intern(deleted(suspect_fact)),),
+            (conflict_id,),
         )
 
     result = XRProgram(program=program)
-    _emit_query_rules(result, emit, atoms, query_groundings, available, safe)
+    _emit_query_rules(
+        result, emit, data, remains_atom, query_groundings, available, safe_ids
+    )
     return result
 
 
@@ -284,6 +364,8 @@ def build_figure1_program(
     focus: set[Fact] | None = None,
     safe: set[Fact] | None = None,
     violations: list[Violation] | None = None,
+    focus_ids: set[int] | frozenset[int] | None = None,
+    safe_ids: set[int] | frozenset[int] | None = None,
 ) -> XRProgram:
     """Build the ground Figure 1 program of Theorem 2, literally.
 
@@ -292,114 +374,120 @@ def build_figure1_program(
     key constraints directly over exchanged facts — it agrees with
     :func:`build_repair_program`.
     """
-    source_names = data.mapping.source.names()
-    all_facts = set(data.chased)
-    if focus is None:
-        focus = all_facts
-    if safe is None:
-        safe = set()
-    if violations is None:
-        violations = data.violations
-    available = focus | safe
+    focus_ids, safe_ids = _normalize_scope(data, focus, safe, focus_ids, safe_ids)
+    scoped_violations = _normalize_violations(data, violations)
+    available = focus_ids | safe_ids
+
+    facts_by_id = data.facts_by_id
+    source_mask = data.source_id_mask
+    grounding_bodies = data.grounding_bodies
+    grounding_heads = data.grounding_heads
 
     program = GroundProgram(AtomTable())
     atoms = program.atoms
-    seen: set[GroundRule] = set()
+    emit = _Emitter(program)
 
-    def emit(rule: GroundRule) -> None:
-        if rule not in seen:
-            seen.add(rule)
-            program.add_rule(rule)
+    fact_atoms = [0] * len(facts_by_id)
+    remains_ids = [0] * len(facts_by_id)
+    deleted_ids = [0] * len(facts_by_id)
+    incidental_ids = [0] * len(facts_by_id)
 
-    def is_target(fact: Fact) -> bool:
-        return fact.relation not in source_names
+    def fact_atom(fact_id: int) -> int:
+        atom_id = fact_atoms[fact_id]
+        if not atom_id:
+            atom_id = atoms.intern(facts_by_id[fact_id])
+            fact_atoms[fact_id] = atom_id
+        return atom_id
+
+    def remains_atom(fact_id: int) -> int:
+        atom_id = remains_ids[fact_id]
+        if not atom_id:
+            atom_id = atoms.intern(remains(facts_by_id[fact_id]))
+            remains_ids[fact_id] = atom_id
+        return atom_id
+
+    def deleted_atom(fact_id: int) -> int:
+        atom_id = deleted_ids[fact_id]
+        if not atom_id:
+            atom_id = atoms.intern(deleted(facts_by_id[fact_id]))
+            deleted_ids[fact_id] = atom_id
+        return atom_id
+
+    def incidental_atom(fact_id: int) -> int:
+        atom_id = incidental_ids[fact_id]
+        if not atom_id:
+            atom_id = atoms.intern(incidental(facts_by_id[fact_id]))
+            incidental_ids[fact_id] = atom_id
+        return atom_id
 
     # --- per-fact rules.
-    for fact in focus:
-        fact_id = atoms.intern(fact)
-        deleted_id = atoms.intern(deleted(fact))
-        remains_id = atoms.intern(remains(fact))
-        if is_target(fact):
-            incidental_id = atoms.intern(incidental(fact))
-            emit(
-                GroundRule(
-                    head=(incidental_id,),
-                    body_pos=(fact_id,),
-                    body_neg=(remains_id, deleted_id),
-                )
-            )
-            emit(GroundRule(head=(), body_pos=(remains_id, deleted_id)))
-            emit(GroundRule(head=(), body_pos=(remains_id, incidental_id)))
-            emit(GroundRule(head=(), body_pos=(deleted_id, incidental_id)))
+    for fact_id in sorted(focus_ids):
+        atom = fact_atom(fact_id)
+        deleted_id = deleted_atom(fact_id)
+        remains_id = remains_atom(fact_id)
+        if not source_mask[fact_id]:  # target fact
+            incidental_id = incidental_atom(fact_id)
+            emit((incidental_id,), (atom,), (remains_id, deleted_id))
+            emit((), (remains_id, deleted_id))
+            emit((), (remains_id, incidental_id))
+            emit((), (deleted_id, incidental_id))
         else:
-            emit(GroundRule(head=(fact_id,)))
-            emit(
-                GroundRule(
-                    head=(remains_id,),
-                    body_pos=(fact_id,),
-                    body_neg=(deleted_id,),
-                )
-            )
+            emit((atom,))
+            emit((remains_id,), (atom,), (deleted_id,))
 
     # --- chase / deletion / remainder rules per tgd grounding.
-    for _rule, body_facts, head_fact in data.groundings:
-        if head_fact in safe or head_fact not in focus:
+    for index, head_id in enumerate(grounding_heads):
+        if head_id in safe_ids or head_id not in focus_ids:
             continue
-        if any(fact not in available for fact in body_facts):
+        body_ids = grounding_bodies[index]
+        if any(fact_id not in available for fact_id in body_ids):
             continue
-        if head_fact in body_facts:
+        if head_id in body_ids:
             continue  # tautological grounding
-        focus_body = tuple(dict.fromkeys(f for f in body_facts if f not in safe))
+        focus_body = tuple(i for i in body_ids if i not in safe_ids)
         if not focus_body:
-            emit(GroundRule(head=(atoms.intern(head_fact),)))
-            emit(GroundRule(head=(atoms.intern(remains(head_fact)),)))
+            emit((fact_atom(head_id),))
+            emit((remains_atom(head_id),))
             continue
-        head_id = atoms.intern(head_fact)
-        body_ids = tuple(atoms.intern(f) for f in focus_body)
-        emit(GroundRule(head=(head_id,), body_pos=body_ids))
+        body_atoms = tuple(fact_atom(i) for i in focus_body)
+        emit((fact_atom(head_id),), body_atoms)
         emit(
-            GroundRule(
-                head=tuple(atoms.intern(deleted(f)) for f in focus_body),
-                body_pos=(atoms.intern(deleted(head_fact)),) + body_ids,
-                body_neg=tuple(
-                    atoms.intern(incidental(f))
-                    for f in focus_body
-                    if is_target(f)
-                ),
-            )
+            tuple(deleted_atom(i) for i in focus_body),
+            (deleted_atom(head_id),) + body_atoms,
+            tuple(
+                incidental_atom(i)
+                for i in focus_body
+                if not source_mask[i]
+            ),
         )
         emit(
-            GroundRule(
-                head=(atoms.intern(remains(head_fact)),),
-                body_pos=tuple(atoms.intern(remains(f)) for f in focus_body),
-            )
+            (remains_atom(head_id),),
+            tuple(remains_atom(i) for i in focus_body),
         )
 
     # --- egd deletion rules.
-    for violation in violations:
-        body_facts = tuple(dict.fromkeys(violation.body_facts))
-        if any(fact not in available for fact in body_facts):
+    for violation, body_ids in scoped_violations:
+        if any(fact_id not in available for fact_id in body_ids):
             continue
-        focus_body = tuple(f for f in body_facts if f not in safe)
+        focus_body = tuple(i for i in body_ids if i not in safe_ids)
         if not focus_body:
             raise ValueError(
                 f"unrepairable violation: every fact of {violation!r} is safe"
             )
-        body_ids = tuple(atoms.intern(f) for f in focus_body)
         emit(
-            GroundRule(
-                head=tuple(atoms.intern(deleted(f)) for f in focus_body),
-                body_pos=body_ids,
-                body_neg=tuple(
-                    atoms.intern(incidental(f))
-                    for f in focus_body
-                    if is_target(f)
-                ),
-            )
+            tuple(deleted_atom(i) for i in focus_body),
+            tuple(fact_atom(i) for i in focus_body),
+            tuple(
+                incidental_atom(i)
+                for i in focus_body
+                if not source_mask[i]
+            ),
         )
 
     result = XRProgram(program=program)
-    _emit_query_rules(result, emit, atoms, query_groundings, available, safe)
+    _emit_query_rules(
+        result, emit, data, remains_atom, query_groundings, available, safe_ids
+    )
     return result
 
 
@@ -416,6 +504,8 @@ def build_xr_program(
     safe: set[Fact] | None = None,
     violations: list[Violation] | None = None,
     encoding: str = "repair",
+    focus_ids: set[int] | frozenset[int] | None = None,
+    safe_ids: set[int] | frozenset[int] | None = None,
 ) -> XRProgram:
     """Dispatch to the selected encoding (``"repair"`` or ``"figure1"``)."""
     try:
@@ -430,4 +520,6 @@ def build_xr_program(
         focus=focus,
         safe=safe,
         violations=violations,
+        focus_ids=focus_ids,
+        safe_ids=safe_ids,
     )

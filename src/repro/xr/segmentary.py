@@ -62,9 +62,12 @@ class QueryPhaseStats:
     programs_solved: int = 0
     largest_program_atoms: int = 0
     total_rules: int = 0
-    # Wall-clock: the whole query phase, the solve portion, and each
-    # dispatched program individually (executor order).
+    # Wall-clock: the whole query phase, the program-build portion (group
+    # resolution including cache probes and program construction), the
+    # solve portion, and each dispatched program individually (executor
+    # order).
     seconds: float = 0.0
+    build_seconds: float = 0.0
     solve_seconds: float = 0.0
     program_seconds: list[float] = field(default_factory=list)
     # Cache observability: program-level hits/misses and per-candidate
@@ -267,6 +270,7 @@ class SegmentaryEngine:
         # independent, so any execution order or interleaving is valid).
         pending: list[_SignatureGroup] = []
         tasks: list[SolveTask] = []
+        build_started = time.perf_counter()
         for signature, candidates in by_signature.items():
             group = self._resolve_group(
                 signature, candidates, supports_by_candidate,
@@ -289,6 +293,7 @@ class SegmentaryEngine:
                 )
             else:
                 self._finalize_group(group, set(), mode)
+        stats.build_seconds = time.perf_counter() - build_started
 
         if tasks:
             outcomes = self.executor.run(tasks)
@@ -399,12 +404,12 @@ class SegmentaryEngine:
             )
 
         clusters = [analysis.clusters[index] for index in signature]
-        focus: set[Fact] = set()
+        focus_ids: set[int] = set()
         violations = []
         for cluster in clusters:
-            focus |= cluster.influence
+            focus_ids |= cluster.influence_ids
             violations.extend(cluster.violations)
-        focus -= safe_facts
+        focus_ids -= analysis.safe_ids
         query_groundings = [
             (candidate, support)
             for candidate in unresolved
@@ -413,10 +418,10 @@ class SegmentaryEngine:
         xr_program = build_xr_program(
             data,
             query_groundings=query_groundings,
-            focus=focus,
-            safe=safe_facts,
             violations=violations,
             encoding=self.encoding,
+            focus_ids=focus_ids,
+            safe_ids=analysis.safe_ids,
         )
         stats.largest_program_atoms = max(
             stats.largest_program_atoms, xr_program.program.num_atoms

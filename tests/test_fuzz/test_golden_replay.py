@@ -1,0 +1,54 @@
+"""Golden-answer replay: the corpus answers recorded before the interning
+rewrite must be reproduced bit-for-bit by the current engines.
+
+``tests/corpus/golden_answers.json`` was recorded with the pre-rewrite
+(fact-keyed, networkx-based) pipeline; any divergence here means the
+performance work changed an answer somewhere in exchange, envelopes,
+program build, or solving.  Re-record deliberately with
+``repro.fuzz.corpus.record_golden_answers`` only when the *expected*
+answers legitimately change.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import (
+    GOLDEN_ANSWERS_FILE,
+    load_corpus,
+    load_golden_answers,
+    scenario_answers,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+
+
+def corpus_scenarios():
+    return {path.stem: scenario for path, scenario in load_corpus(CORPUS_DIR)}
+
+
+def test_golden_file_exists_and_covers_corpus():
+    goldens = load_golden_answers(CORPUS_DIR)
+    names = set(corpus_scenarios())
+    assert set(goldens) == names, (
+        f"{GOLDEN_ANSWERS_FILE} out of sync with the corpus: "
+        f"missing {names - set(goldens)}, stale {set(goldens) - names}"
+    )
+    for name, answers in goldens.items():
+        assert set(answers) == {
+            "segmentary_certain",
+            "segmentary_possible",
+            "monolithic_certain",
+            "figure1_certain",
+        }, name
+
+
+@pytest.mark.parametrize(
+    "name", sorted(p.stem for p, _ in load_corpus(CORPUS_DIR))
+)
+def test_corpus_answers_match_goldens(name):
+    goldens = load_golden_answers(CORPUS_DIR)
+    scenario = corpus_scenarios()[name]
+    assert scenario_answers(scenario) == goldens[name], (
+        f"{name}: engine answers diverged from the recorded goldens"
+    )
