@@ -21,7 +21,8 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def ctx() -> BenchmarkContext:
-    return BenchmarkContext()
+    with BenchmarkContext() as context:
+        yield context
 
 
 _truncated_this_session: set[str] = set()

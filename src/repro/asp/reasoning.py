@@ -25,19 +25,24 @@ def cautious_consequences(
     program: GroundProgram,
     query_atoms: Iterable[int],
     engine: StableModelEngine | None = None,
+    deadline=None,
 ) -> frozenset[int] | None:
     """Atoms among ``query_atoms`` true in every stable model.
 
     Returns ``None`` when the program has no stable model at all (in which
-    case cautious consequence trivializes).
+    case cautious consequence trivializes).  ``deadline`` (a
+    :class:`~repro.runtime.budget.Deadline`) aborts the computation with
+    :class:`~repro.runtime.budget.SolveBudgetExceeded` when it passes.
     """
     if engine is None:
-        engine = StableModelEngine(program)
+        engine = StableModelEngine(program, deadline=deadline)
     first = engine.next_stable_model()
     if first is None:
         return None
     candidates = frozenset(query_atoms) & first
     while candidates:
+        if deadline is not None:
+            deadline.check()
         engine.add_atom_clause([-atom for atom in candidates])
         model = engine.next_stable_model()
         if model is None:
@@ -50,13 +55,15 @@ def brave_consequences(
     program: GroundProgram,
     query_atoms: Iterable[int],
     engine: StableModelEngine | None = None,
+    deadline=None,
 ) -> frozenset[int] | None:
     """Atoms among ``query_atoms`` true in at least one stable model.
 
-    Returns ``None`` when the program has no stable model.
+    Returns ``None`` when the program has no stable model.  ``deadline``
+    behaves as in :func:`cautious_consequences`.
     """
     if engine is None:
-        engine = StableModelEngine(program)
+        engine = StableModelEngine(program, deadline=deadline)
     goal = frozenset(query_atoms)
     first = engine.next_stable_model()
     if first is None:
@@ -64,6 +71,8 @@ def brave_consequences(
     found = goal & first
     missing = goal - found
     while missing:
+        if deadline is not None:
+            deadline.check()
         engine.add_atom_clause(list(missing))
         model = engine.next_stable_model()
         if model is None:

@@ -21,6 +21,11 @@ from typing import Iterable, Sequence
 
 _UNASSIGNED = -1
 
+#: Search-loop iterations (one conflict or decision each) between
+#: cooperative interrupt checks — frequent enough that a budgeted solve
+#: stops within milliseconds of its deadline, rare enough to be free.
+_INTERRUPT_GRANULARITY = 64
+
 
 def _lit_index(lit: int) -> int:
     return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
@@ -48,6 +53,12 @@ class SatSolver:
         self.ok = True  # False once a top-level conflict is found
         self._conflicts_total = 0
         self._propagations_total = 0
+        # Cooperative cancellation: when set, called every
+        # ``_INTERRUPT_GRANULARITY`` search-loop iterations; it may raise
+        # (e.g. ``SolveBudgetExceeded``) to abort the search.  None (the
+        # default) costs one attribute test per loop iteration.
+        self.interrupt_check = None
+        self._interrupt_tick = 0
         # Lazy max-activity heap of decision candidates: (-activity, var).
         self._order: list[tuple[float, int]] = []
         if num_vars:
@@ -325,6 +336,11 @@ class SatSolver:
         conflicts_here = 0
 
         while True:
+            if self.interrupt_check is not None:
+                self._interrupt_tick += 1
+                if self._interrupt_tick >= _INTERRUPT_GRANULARITY:
+                    self._interrupt_tick = 0
+                    self.interrupt_check()
             conflict = self.propagate()
             if conflict is not None:
                 self._conflicts_total += 1

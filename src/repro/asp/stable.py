@@ -104,7 +104,16 @@ class StableModelEngine:
     :meth:`next_stable_model` resumes enumeration.
     """
 
-    def __init__(self, program: GroundProgram, auto_shift: bool = True):
+    def __init__(
+        self,
+        program: GroundProgram,
+        auto_shift: bool = True,
+        deadline=None,
+    ):
+        # ``deadline`` is a :class:`repro.runtime.budget.Deadline` (or any
+        # object with a ``check()`` raising to abort); it is installed as
+        # the cooperative interrupt of every SAT search this engine runs.
+        self.deadline = deadline
         self.program = program
         rules = list(program.rules)
         self.was_shifted = False
@@ -123,6 +132,8 @@ class StableModelEngine:
 
     def _build_generator(self) -> None:
         solver = SatSolver(self.num_atoms)
+        if self.deadline is not None:
+            solver.interrupt_check = self.deadline.check
         self.solver = solver
         self.true_var = solver.new_var()
         solver.add_clause([self.true_var])
@@ -243,6 +254,8 @@ class StableModelEngine:
         atom_list = sorted(model)
         local_of = {atom: index + 1 for index, atom in enumerate(atom_list)}
         checker = SatSolver(len(atom_list))
+        if self.deadline is not None:
+            checker.interrupt_check = self.deadline.check
         for rule in self.rules:
             if not rule.head and not rule.body_pos:
                 continue
@@ -336,6 +349,8 @@ class StableModelEngine:
         if self._exhausted:
             return None
         while True:
+            if self.deadline is not None:
+                self.deadline.check()
             if not self.solver.solve():
                 self._exhausted = True
                 return None

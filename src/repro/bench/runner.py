@@ -16,6 +16,7 @@ from repro.genomics.generator import GeneratedInstance
 from repro.genomics.queries import query_by_name
 from repro.genomics.schema import genome_mapping
 from repro.reduction.reduce import ReducedMapping, reduce_mapping
+from repro.runtime.budget import SolveBudget
 from repro.xr.monolithic import MonolithicEngine
 from repro.xr.segmentary import SegmentaryEngine
 
@@ -33,13 +34,16 @@ class QueryResult:
 class BenchmarkContext:
     """Session-wide cache of reduced mapping, instances, and engines.
 
-    ``jobs`` and ``cache`` are forwarded to every segmentary engine this
-    context builds (warm engines are memoized per profile, so one context
-    measures one runtime configuration).
+    ``jobs``, ``cache``, and ``budget`` are forwarded to every segmentary
+    engine this context builds (warm engines are memoized per profile, so
+    one context measures one runtime configuration).  Benchmarks that set
+    a ``budget`` must report degradation (``stats.timeouts``) alongside
+    timings — a degraded measurement is not comparable to an exact one.
     """
 
     jobs: int = 1
     cache: bool = True
+    budget: SolveBudget | None = None
     _reduced: ReducedMapping | None = None
     _instances: dict[str, GeneratedInstance] = field(default_factory=dict)
     _segmentary: dict[str, SegmentaryEngine] = field(default_factory=dict)
@@ -62,6 +66,7 @@ class BenchmarkContext:
                 self.instance(profile).instance,
                 jobs=self.jobs,
                 cache=self.cache,
+                budget=self.budget,
             )
             engine.exchange()
             self._segmentary[profile] = engine
@@ -72,11 +77,19 @@ class BenchmarkContext:
         for engine in self._segmentary.values():
             engine.close()
 
+    def __enter__(self) -> "BenchmarkContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def monolithic_engine(self, profile: str) -> MonolithicEngine:
         """A fresh monolithic engine (no shared state: the monolithic cost
         model pays for everything per query)."""
         return MonolithicEngine(
-            self.reduced_mapping(), self.instance(profile).instance
+            self.reduced_mapping(),
+            self.instance(profile).instance,
+            budget=self.budget,
         )
 
 

@@ -23,6 +23,7 @@ import time
 from typing import Sequence
 
 from repro.parser import parse_instance, parse_mapping, parse_program
+from repro.runtime.budget import NO_BUDGET, SolveBudget
 from repro.xr.monolithic import MonolithicEngine
 from repro.xr.segmentary import SegmentaryEngine
 from repro.xr.solutions import xr_solutions
@@ -36,31 +37,70 @@ def _load(arguments) -> tuple:
     return mapping, instance
 
 
+def _budget_from(arguments) -> SolveBudget:
+    if not (arguments.deadline or arguments.task_timeout or arguments.retries):
+        return NO_BUDGET
+    return SolveBudget(
+        deadline=arguments.deadline,
+        task_timeout=arguments.task_timeout,
+        max_retries=arguments.retries,
+    )
+
+
 def _command_answer(arguments) -> int:
     mapping, instance = _load(arguments)
     query = parse_program(arguments.query)
-    if arguments.method == "monolithic":
-        engine = MonolithicEngine(mapping, instance)
-    else:
-        engine = SegmentaryEngine(mapping, instance, jobs=arguments.jobs)
+    budget = _budget_from(arguments)
+    # A configured budget implies degraded answers are acceptable: that is
+    # the point of setting one.  Without a budget nothing can time out and
+    # the flag is irrelevant.
+    allow_partial = not budget.is_null
+    mode = "possible" if arguments.possible else "certain"
+    kind = "XR-Possible" if arguments.possible else "XR-Certain"
     started = time.perf_counter()
-    if arguments.possible:
-        answers = engine.possible_answers(query)
-        kind = "XR-Possible"
+    degraded = False
+    unknown: set = set()
+    phase_note = None
+    if arguments.method == "monolithic":
+        engine = MonolithicEngine(mapping, instance, budget=budget)
+        if arguments.possible:
+            answers = engine.possible_answers(query, allow_partial=allow_partial)
+        else:
+            answers = engine.answer(query, allow_partial=allow_partial)
+        degraded = engine.last_stats.degraded
+        unknown = engine.last_stats.unknown_candidates
     else:
-        answers = engine.answer(query)
-        kind = "XR-Certain"
-    elapsed = time.perf_counter() - started
-    print(f"% {kind} answers ({arguments.method}, {elapsed:.2f}s)")
-    if arguments.method == "segmentary":
-        stats = engine.last_query_stats
-        if stats.programs_solved or stats.cache_hits:
-            print(
+        with SegmentaryEngine(
+            mapping, instance, jobs=arguments.jobs, budget=budget
+        ) as engine:
+            answers, stats = engine.answer_with_stats(
+                query, mode=mode, allow_partial=allow_partial
+            )
+        degraded = stats.degraded
+        unknown = stats.unknown_candidates
+        if stats.programs_solved or stats.cache_hits or stats.timeouts:
+            phase_note = (
                 f"% query phase: {stats.programs_solved} program(s) solved "
                 f"via {stats.executor} executor, {stats.cache_hits} cache "
                 f"hit(s), {stats.solve_seconds:.2f}s solving"
             )
-        engine.close()
+            if stats.timeouts or stats.retries:
+                phase_note += (
+                    f", {stats.timeouts} timeout(s), {stats.retries} retry(ies)"
+                )
+    elapsed = time.perf_counter() - started
+    print(f"% {kind} answers ({arguments.method}, {elapsed:.2f}s)")
+    if phase_note:
+        print(phase_note)
+    if degraded:
+        relation = "excluded from" if mode == "certain" else "included in"
+        print(
+            f"% DEGRADED: budget exhausted; {len(unknown)} candidate(s) "
+            f"undecided and conservatively {relation} the answers below"
+        )
+        for row in sorted(unknown, key=repr):
+            inner = ", ".join(repr(value) for value in row)
+            print(f"% unknown: {query.name}({inner})")
     if not answers:
         print("% (none)")
     for row in sorted(answers, key=repr):
@@ -84,8 +124,8 @@ def _command_repairs(arguments) -> int:
 
 def _command_check(arguments) -> int:
     mapping, instance = _load(arguments)
-    engine = SegmentaryEngine(mapping, instance)
-    stats = engine.exchange()
+    with SegmentaryEngine(mapping, instance) as engine:
+        stats = engine.exchange()
     print(f"source facts:        {stats.source_facts}")
     print(f"chased facts:        {stats.chased_facts}")
     print(f"egd violations:      {stats.violations}")
@@ -111,6 +151,7 @@ def _command_fuzz(arguments) -> int:
         conflict_rate=arguments.conflict_rate,
         use_oracle=not arguments.no_oracle,
         check_parallel=not arguments.no_parallel,
+        check_faults=arguments.faults,
     )
     summary = run_fuzz(
         seeds=arguments.seeds,
@@ -189,6 +230,18 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for signature solving "
                         "(segmentary method only; default 1 = in-process)")
+    answer.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget for the whole query; on "
+                        "expiry undecided candidates are reported unknown "
+                        "instead of solved (degraded answers)")
+    answer.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-signature-program solve budget "
+                        "(segmentary) / whole-solve budget (monolithic)")
+    answer.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-dispatch attempts for tasks whose worker "
+                        "process crashed (default 0)")
     answer.set_defaults(run=_command_answer)
 
     repairs = commands.add_parser("repairs", help="enumerate XR-solutions")
@@ -224,6 +277,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the Definition 1 oracle (faster, weaker)")
     fuzz.add_argument("--no-parallel", action="store_true",
                       help="skip the parallel-executor engine axis")
+    fuzz.add_argument("--faults", action="store_true",
+                      help="also inject seeded worker crashes/hangs per "
+                      "scenario and check recovery + degradation "
+                      "invariants (repro.fuzz.faults)")
     fuzz.set_defaults(run=_command_fuzz)
 
     bench = commands.add_parser(

@@ -12,6 +12,9 @@ that observation into infrastructure:
   skolem-heavy chains, and boolean/UCQ queries;
 - :mod:`repro.fuzz.differential` — the cross-engine runner and its
   invariant checks;
+- :mod:`repro.fuzz.faults` — deterministic fault injection (seeded worker
+  crashes and hangs) proving crash-retry recovery is exact and
+  budget-degraded answers bracket the exact ones;
 - :mod:`repro.fuzz.shrink` — delta-debugging minimization of failures;
 - :mod:`repro.fuzz.corpus` — serialization and replay of minimal repros
   (``tests/corpus/`` is loaded by the tier-1 suite);
@@ -43,6 +46,12 @@ from repro.fuzz.differential import (
     run_differential,
     run_fuzz,
 )
+from repro.fuzz.faults import (
+    FaultInjectingExecutor,
+    FaultPlan,
+    fault_plan_for_seed,
+    run_fault_check,
+)
 from repro.fuzz.generator import (
     DEFAULT_CONFIG,
     PROFILES,
@@ -70,6 +79,8 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DifferentialReport",
     "Discrepancy",
+    "FaultInjectingExecutor",
+    "FaultPlan",
     "FuzzConfig",
     "FuzzFailure",
     "FuzzSummary",
@@ -81,6 +92,7 @@ __all__ = [
     "check_seed",
     "close_shared_executor",
     "default_corpus_entries",
+    "fault_plan_for_seed",
     "load_corpus",
     "load_repro",
     "mappings_equal",
@@ -97,6 +109,7 @@ __all__ = [
     "replay",
     "replay_corpus",
     "run_differential",
+    "run_fault_check",
     "run_fuzz",
     "save_repro",
     "scenario_digest",

@@ -193,27 +193,33 @@ def run_differential(
                 report.engines.append("monolithic-figure1")
                 report.certain["monolithic-figure1"] = figure1
 
-    cached = SegmentaryEngine(mapping, instance, cache=True)
-    cold = run("segmentary-cold", "certain", lambda: cached.answer(query))
-    warm = run("segmentary-warm", "certain", lambda: cached.answer(query))
-    if config.check_possible:
-        run(
-            "segmentary-possible",
-            "possible",
-            lambda: cached.possible_answers(query),
-        )
+    with SegmentaryEngine(mapping, instance, cache=True) as cached:
+        cold = run("segmentary-cold", "certain", lambda: cached.answer(query))
+        warm = run("segmentary-warm", "certain", lambda: cached.answer(query))
+        if config.check_possible:
+            run(
+                "segmentary-possible",
+                "possible",
+                lambda: cached.possible_answers(query),
+            )
 
-    nocache = SegmentaryEngine(mapping, instance, cache=False)
-    run("segmentary-nocache", "certain", lambda: nocache.answer(query))
+    with SegmentaryEngine(mapping, instance, cache=False) as nocache:
+        run("segmentary-nocache", "certain", lambda: nocache.answer(query))
 
     if config.check_parallel:
-        parallel_engine = SegmentaryEngine(
+        # The engine does not own the shared executor, so closing the
+        # engine leaves the pool alive for the next scenario.
+        with SegmentaryEngine(
             mapping,
             instance,
             executor=executor or _shared_parallel_executor(config.parallel_jobs),
             cache=False,
-        )
-        run("segmentary-parallel", "certain", lambda: parallel_engine.answer(query))
+        ) as parallel_engine:
+            run(
+                "segmentary-parallel",
+                "certain",
+                lambda: parallel_engine.answer(query),
+            )
 
     # ----------------------------------------------------------- compare
 
@@ -339,9 +345,25 @@ class FuzzSummary:
         return not self.failures
 
 
-def check_seed(seed: int, config: FuzzConfig = DEFAULT_CONFIG) -> DifferentialReport:
-    """Generate the scenario for ``seed`` and run the differential matrix."""
-    return run_differential(random_scenario(seed, config), config)
+def check_seed(
+    seed: int,
+    config: FuzzConfig = DEFAULT_CONFIG,
+    executor: SolveExecutor | None = None,
+) -> DifferentialReport:
+    """Generate the scenario for ``seed`` and run the differential matrix.
+
+    With ``config.check_faults`` the fault-injection differential
+    (:mod:`repro.fuzz.faults`) runs after the clean matrix: seeded worker
+    crashes and hangs, checking that retries recover exactly and that
+    budget-degraded answers bracket the exact ones.
+    """
+    scenario = random_scenario(seed, config)
+    report = run_differential(scenario, config, executor)
+    if config.check_faults:
+        from repro.fuzz.faults import run_fault_check
+
+        report.discrepancies.extend(run_fault_check(scenario, config, seed=seed))
+    return report
 
 
 def _worker_check(args: tuple) -> tuple[int, list[str]]:
@@ -352,8 +374,9 @@ def _worker_check(args: tuple) -> tuple[int, list[str]]:
         # per-call and explicitly closed before the task returns: an
         # inner process pool torn down at *worker exit* (atexit) wedges
         # the outer pool's shutdown for good (observed on CPython 3.11).
+        # The fault check manages its own executors the same way.
         with make_executor(max(config.parallel_jobs, 2), min_batch=1) as ex:
-            report = run_differential(random_scenario(seed, config), config, ex)
+            report = check_seed(seed, config, ex)
     else:
         report = check_seed(seed, config)
     return seed, [str(d) for d in report.discrepancies]
@@ -429,7 +452,11 @@ def run_fuzz(
         if shrink:
             from repro.fuzz.shrink import shrink_scenario
 
-            shrink_config = replace(config, check_parallel=False)
+            # No pools and no injected faults while shrinking: the shrink
+            # predicate re-runs the matrix hundreds of times, and fault
+            # runs both cost a deadline each and depend on the seed (the
+            # shrunk scenario no longer corresponds to one).
+            shrink_config = replace(config, check_parallel=False, check_faults=False)
             minimal = shrink_scenario(
                 scenario,
                 lambda s: not run_differential(s, shrink_config).ok,

@@ -12,13 +12,25 @@ them an embarrassingly parallel workload.  This package provides:
 - :mod:`repro.runtime.cache` — a cross-query result cache for signature
   programs plus a coarser per-cluster decision memo, so a warm engine
   answering repeated or structurally-similar queries skips redundant
-  solving entirely.
+  solving entirely;
+- :mod:`repro.runtime.budget` — resource governance: wall-clock deadlines,
+  per-task timeouts, and crash-retry policy (:class:`SolveBudget`),
+  enforced cooperatively inside the CDCL loop and externally by the
+  executors, with :class:`SolveBudgetExceeded` → ``status="timeout"``
+  outcomes instead of unbounded solves.
 
 Both executors are deterministic: a batch of programs produces the same
 outcomes in the same order regardless of worker count, because each solve
 is a pure function of its program.
 """
 
+from repro.runtime.budget import (
+    NO_BUDGET,
+    Deadline,
+    SolveBudget,
+    SolveBudgetExceeded,
+    backoff_delay,
+)
 from repro.runtime.cache import SignatureProgramCache
 from repro.runtime.executor import (
     PackedProgram,
@@ -32,13 +44,18 @@ from repro.runtime.executor import (
 )
 
 __all__ = [
+    "Deadline",
+    "NO_BUDGET",
     "PackedProgram",
     "ParallelExecutor",
     "SequentialExecutor",
     "SignatureProgramCache",
+    "SolveBudget",
+    "SolveBudgetExceeded",
     "SolveExecutor",
     "SolveOutcome",
     "SolveTask",
+    "backoff_delay",
     "make_executor",
     "solve_task",
 ]

@@ -1,39 +1,81 @@
 """Solve executors: sequential and process-parallel signature solving.
 
 A :class:`SolveTask` is one self-contained unit of query-phase work — a
-ground program plus the query-atom ids to decide cautiously or bravely.
+ground program plus the query-atom ids to decide cautiously or bravely,
+and the :class:`~repro.runtime.budget.SolveBudget` governing the solve.
 Executors take a batch of tasks and return one :class:`SolveOutcome` per
 task, *in task order*.  Because every solve is a pure function of its task
 (the CDCL search is deterministic), sequential and parallel execution are
 answer-identical; only wall-clock time differs.
 
 :class:`ParallelExecutor` dispatches pickled tasks to a
-``ProcessPoolExecutor`` in chunks.  Programs are shipped as
+``ProcessPoolExecutor``, one future per task.  Programs are shipped as
 :class:`PackedProgram` — rules plus the atom-universe size, leaving the
 atom table (whose :class:`~repro.relational.instance.Fact` objects dominate
 pickling cost) behind in the parent; the parent keeps the fact↔id mapping
-and decodes the returned atom ids itself.  When process spawning fails,
-a task does not pickle, or the batch is too small to amortize fork
-overhead, the executor degrades gracefully to in-process execution.
+and decodes the returned atom ids itself.
+
+Resource governance (all off by default):
+
+- a batch ``deadline`` bounds both the workers (cooperative checks inside
+  the CDCL loop) and the parent's wait for results, so even a wedged
+  worker cannot hold a query past its budget — its unfinished tasks are
+  reported as ``SolveOutcome(status="timeout")`` and the stuck pool is
+  abandoned and recreated for the next batch;
+- a task whose worker process *crashed* (``BrokenProcessPool``) is
+  re-dispatched up to its budget's ``max_retries``, with exponential
+  backoff and pool recreation — only the unfinished tasks re-run, never
+  the whole batch;
+- pool creation itself gets bounded retries with backoff instead of a
+  permanent latch, so one transient spawn failure does not disable
+  parallelism for the executor's lifetime.
+
+When process spawning stays impossible, a task does not pickle, or the
+batch is too small to amortize fork overhead, the executor degrades
+gracefully to in-process execution.  ``last_dispatch`` records how the
+most recent batch actually ran (``"parallel"``, ``"sequential"``, or
+``"mixed"`` when a batch started parallel and finished in-process).
 """
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import time
+from concurrent.futures import wait as _wait_futures
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from repro.asp.reasoning import brave_consequences, cautious_consequences
 from repro.asp.stable import StableModelEngine
 from repro.asp.syntax import GroundProgram, GroundRule
+from repro.runtime.budget import (
+    NO_BUDGET,
+    Deadline,
+    SolveBudget,
+    SolveBudgetExceeded,
+    backoff_delay,
+)
 
 #: Below this many tasks a ParallelExecutor runs in-process: forking and
 #: pickling cost more than the solves they would overlap.
 DEFAULT_MIN_BATCH = 2
+
+#: Extra seconds the parent waits past a deadline before declaring the
+#: outstanding workers wedged: cooperative workers need a moment to notice
+#: the deadline and ship their timeout outcomes back.
+DEFAULT_DEADLINE_GRACE = 0.5
+
+#: Bounded pool-recreation policy: at most this many consecutive failed
+#: spawn attempts per ``run()`` call, and at most ``SPAWN_FAILURE_CAP``
+#: over the executor's lifetime before parallelism is disabled for good.
+POOL_RECREATE_ATTEMPTS = 3
+SPAWN_FAILURE_CAP = 12
+POOL_BACKOFF_BASE = 0.05
+POOL_BACKOFF_CAP = 1.0
 
 
 @dataclass(frozen=True)
@@ -59,31 +101,65 @@ class SolveTask:
     """Decide which of ``query_atom_ids`` hold under ``mode`` in ``program``.
 
     ``mode`` is ``"certain"`` (cautious: true in every stable model) or
-    ``"possible"`` (brave: true in some stable model).
+    ``"possible"`` (brave: true in some stable model).  ``budget`` carries
+    the per-task timeout and crash-retry policy; the default
+    :data:`~repro.runtime.budget.NO_BUDGET` changes nothing.
     """
 
     program: PackedProgram
     query_atom_ids: tuple[int, ...]
     mode: str = "certain"
+    budget: SolveBudget = NO_BUDGET
 
 
 @dataclass
 class SolveOutcome:
-    """The result of one solve: accepted atom ids plus observability data."""
+    """The result of one solve: accepted atom ids plus observability data.
 
-    decided: frozenset[int] | None  # None: the program has no stable model
+    ``status`` is ``"ok"`` (solved; ``decided is None`` then means the
+    program has no stable model), ``"timeout"`` (the task's or batch's
+    deadline passed before the solve finished), or ``"error"`` (the
+    worker died and retries were exhausted).  ``attempts`` counts
+    dispatches, so ``attempts - 1`` is the number of retries.
+    """
+
+    decided: frozenset[int] | None  # None: no stable model (status "ok")
     seconds: float = 0.0
     solver_stats: dict[str, int] = field(default_factory=dict)
+    status: str = "ok"
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
-def solve_task(task: SolveTask) -> SolveOutcome:
-    """Solve one task in the current process (the worker entry point)."""
+def solve_task(task: SolveTask, deadline_at: float | None = None) -> SolveOutcome:
+    """Solve one task in the current process (the worker entry point).
+
+    ``deadline_at`` is an absolute monotonic batch cutoff shipped by the
+    parent; it is intersected with the task's own ``task_timeout``.  When
+    the resulting deadline fires mid-search, the cooperative check raises
+    and the outcome is reported as ``status="timeout"``.
+    """
     started = time.perf_counter()
-    engine = StableModelEngine(task.program)
-    reason = (
-        cautious_consequences if task.mode == "certain" else brave_consequences
+    deadline = Deadline.tightest(
+        timeout=task.budget.task_timeout, at=deadline_at
     )
-    decided = reason(task.program, task.query_atom_ids, engine=engine)
+    try:
+        engine = StableModelEngine(task.program, deadline=deadline)
+        reason = (
+            cautious_consequences if task.mode == "certain" else brave_consequences
+        )
+        decided = reason(
+            task.program, task.query_atom_ids, engine=engine, deadline=deadline
+        )
+    except SolveBudgetExceeded:
+        return SolveOutcome(
+            decided=None,
+            seconds=time.perf_counter() - started,
+            status="timeout",
+        )
     return SolveOutcome(
         decided=decided,
         seconds=time.perf_counter() - started,
@@ -91,26 +167,56 @@ def solve_task(task: SolveTask) -> SolveOutcome:
     )
 
 
-def _solve_pickled(payload: bytes) -> SolveOutcome:
+def _solve_pickled(
+    payload: bytes,
+    index: int = 0,
+    attempt: int = 0,
+    deadline_at: float | None = None,
+) -> SolveOutcome:
     """Worker entry point for pre-serialized tasks.
 
     Tasks are pickled in the *parent* (see :meth:`ParallelExecutor.run`):
     a non-picklable task must fail synchronously there, not inside the
     pool's queue-feeder thread, where the failure wedges the pool — both
-    ``map`` and a joining ``shutdown`` would then block forever.
+    a pending future and a joining ``shutdown`` would then block forever.
+
+    ``index`` and ``attempt`` are unused here; they exist so alternative
+    worker functions (fault injection in :mod:`repro.fuzz.faults`) can key
+    behavior on which task, and which dispatch of it, they are running.
     """
-    return solve_task(pickle.loads(payload))
+    return solve_task(pickle.loads(payload), deadline_at=deadline_at)
 
 
 @runtime_checkable
 class SolveExecutor(Protocol):
-    """Anything that can run a batch of solve tasks, preserving order."""
+    """Anything that can run a batch of solve tasks, preserving order.
+
+    ``last_dispatch`` must record how the most recent ``run()`` actually
+    executed (not how the executor was configured): ``"sequential"``,
+    ``"parallel"``, ``"mixed"``, or ``"none"`` before the first batch.
+    """
 
     name: str
+    last_dispatch: str
 
-    def run(self, tasks: Sequence[SolveTask]) -> list[SolveOutcome]: ...
+    def run(
+        self, tasks: Sequence[SolveTask], deadline: Deadline | None = None
+    ) -> list[SolveOutcome]: ...
 
     def close(self) -> None: ...
+
+
+def _timeout_outcome(attempts: int = 1) -> SolveOutcome:
+    return SolveOutcome(decided=None, status="timeout", attempts=attempts)
+
+
+def _run_one(task: SolveTask, deadline: Deadline | None) -> SolveOutcome:
+    """Solve a task in-process, honoring an optional batch deadline."""
+    if deadline is not None and deadline.expired():
+        return _timeout_outcome()
+    return solve_task(
+        task, deadline_at=None if deadline is None else deadline.deadline_at
+    )
 
 
 class SequentialExecutor:
@@ -118,8 +224,14 @@ class SequentialExecutor:
 
     name = "sequential"
 
-    def run(self, tasks: Sequence[SolveTask]) -> list[SolveOutcome]:
-        return [solve_task(task) for task in tasks]
+    def __init__(self) -> None:
+        self.last_dispatch = "none"
+
+    def run(
+        self, tasks: Sequence[SolveTask], deadline: Deadline | None = None
+    ) -> list[SolveOutcome]:
+        self.last_dispatch = "sequential"
+        return [_run_one(task, deadline) for task in tasks]
 
     def close(self) -> None:
         pass
@@ -132,18 +244,20 @@ class SequentialExecutor:
 
 
 class ParallelExecutor:
-    """Fan a batch of tasks out to a process pool, in chunks.
+    """Fan a batch of tasks out to a process pool, one future per task.
 
     - ``jobs``: worker-process count (defaults to the CPU count);
     - ``min_batch``: batches smaller than this run in-process;
-    - ``chunk_size``: tasks per pickled dispatch (default: spread the batch
-      about four chunks per worker, so stragglers rebalance).
+    - ``deadline_grace``: extra parent-side wait past a deadline before
+      outstanding workers are declared wedged.
 
     The pool is created lazily on the first large-enough batch and reused
-    across calls.  Any failure to spawn, pickle, or complete falls back to
-    in-process execution for the whole batch — answers never depend on
-    whether parallelism was actually available.  ``last_dispatch`` records
-    how the most recent batch ran (``"parallel"`` or ``"sequential"``).
+    across calls.  Worker crashes trigger task-level retry (per the task's
+    budget) with pool recreation; wedged workers are abandoned at the
+    deadline; failed pool spawns retry with backoff up to a lifetime cap.
+    Whatever happens, ``run`` returns one outcome per task, in order, and
+    an outcome is only ever non-``ok`` when a budget or fault forced it —
+    never because parallelism happened to be unavailable.
     """
 
     name = "parallel"
@@ -153,30 +267,99 @@ class ParallelExecutor:
         jobs: int | None = None,
         min_batch: int = DEFAULT_MIN_BATCH,
         chunk_size: int | None = None,
+        deadline_grace: float = DEFAULT_DEADLINE_GRACE,
     ):
         self.jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
         self.min_batch = max(1, min_batch)
+        # Kept for API compatibility; dispatch is per-task since the
+        # budget rework (retry and timeout need task granularity).
         self.chunk_size = chunk_size
+        self.deadline_grace = deadline_grace
         self.last_dispatch = "none"
         self._pool: _ProcessPool | None = None
-        self._broken = False
+        self._spawn_failures = 0  # lifetime count, capped
+        # The worker entry point; fault-injecting subclasses override it.
+        # Must be picklable (module-level function or functools.partial
+        # of one) so spawn-based pools can ship it.
+        self._worker: Callable = _solve_pickled
+
+    # ------------------------------------------------------------- pool
 
     def _ensure_pool(self) -> _ProcessPool | None:
-        if self._pool is None and not self._broken:
+        """The live pool, (re)created with bounded, backed-off attempts.
+
+        Returns None when this call's attempts are exhausted or the
+        lifetime spawn-failure cap was hit; the caller then degrades to
+        in-process execution for the current batch, but — below the cap —
+        a later batch will try to spawn again.
+        """
+        if self._pool is not None:
+            return self._pool
+        attempts = 0
+        while (
+            attempts < POOL_RECREATE_ATTEMPTS
+            and self._spawn_failures < SPAWN_FAILURE_CAP
+        ):
+            if attempts:
+                time.sleep(
+                    backoff_delay(attempts - 1, POOL_BACKOFF_BASE, POOL_BACKOFF_CAP)
+                )
             try:
                 self._pool = _ProcessPool(max_workers=self.jobs)
             except (OSError, ValueError, RuntimeError):
-                self._broken = True
-        return self._pool
+                attempts += 1
+                self._spawn_failures += 1
+                continue
+            return self._pool
+        return None
 
-    def _run_sequential(self, tasks: Sequence[SolveTask]) -> list[SolveOutcome]:
+    def _abandon_pool(self) -> None:
+        """Drop a broken or wedged pool without joining its threads; a
+        later :meth:`_ensure_pool` recreates it (bounded by the caps)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # --------------------------------------------------------- dispatch
+
+    def _run_sequential(
+        self, tasks: Sequence[SolveTask], deadline: Deadline | None
+    ) -> list[SolveOutcome]:
         self.last_dispatch = "sequential"
-        return [solve_task(task) for task in tasks]
+        return [_run_one(task, deadline) for task in tasks]
 
-    def run(self, tasks: Sequence[SolveTask]) -> list[SolveOutcome]:
+    def _wait_bound(
+        self,
+        deadline: Deadline | None,
+        tasks: Sequence[SolveTask],
+        remaining: Sequence[int],
+    ) -> float | None:
+        """Absolute monotonic time after which outstanding workers are
+        considered wedged; None when nothing bounds the wait (today's
+        unbudgeted behavior)."""
+        if deadline is not None and deadline.deadline_at is not None:
+            return deadline.deadline_at + self.deadline_grace
+        timeouts = [tasks[i].budget.task_timeout for i in remaining]
+        if timeouts and all(t is not None for t in timeouts):
+            # Every task is individually bounded: even with queueing, the
+            # batch cannot honestly need more than this many waves.
+            waves = math.ceil(len(remaining) / self.jobs)
+            return (
+                time.monotonic()
+                + max(timeouts) * waves
+                + self.deadline_grace
+            )
+        return None
+
+    def run(
+        self, tasks: Sequence[SolveTask], deadline: Deadline | None = None
+    ) -> list[SolveOutcome]:
         tasks = list(tasks)
+        if not tasks:
+            self.last_dispatch = "none"
+            return []
         if len(tasks) < self.min_batch or self.jobs <= 1:
-            return self._run_sequential(tasks)
+            return self._run_sequential(tasks, deadline)
         try:
             payloads = [
                 pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
@@ -186,25 +369,113 @@ class ParallelExecutor:
             # Serialize in the parent so this fails *here*, synchronously.
             # Handing a non-picklable task to the pool would fail in its
             # queue-feeder thread instead, wedging the pool for good.
-            return self._run_sequential(tasks)
-        pool = self._ensure_pool()
-        if pool is None:
-            return self._run_sequential(tasks)
-        chunk = self.chunk_size or max(1, len(tasks) // (self.jobs * 4) or 1)
-        try:
-            outcomes = list(pool.map(_solve_pickled, payloads, chunksize=chunk))
-        except (BrokenProcessPool, OSError, RuntimeError):
-            self._abandon_pool()
-            return self._run_sequential(tasks)
-        self.last_dispatch = "parallel"
-        return outcomes
+            return self._run_sequential(tasks, deadline)
 
-    def _abandon_pool(self) -> None:
-        """Drop a broken pool without joining its possibly-wedged threads."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-        self._broken = True
+        results: list[SolveOutcome | None] = [None] * len(tasks)
+        attempts = [0] * len(tasks)
+        remaining = list(range(len(tasks)))
+        pooled = 0  # outcomes that came back from a worker process
+        in_process = 0  # outcomes solved in-parent (pool unavailable)
+        wave = 0
+        deadline_at = None if deadline is None else deadline.deadline_at
+
+        while remaining:
+            if deadline is not None and deadline.expired():
+                for i in remaining:
+                    results[i] = _timeout_outcome(attempts[i] + 1)
+                remaining = []
+                break
+            if wave:
+                # Re-dispatch wave after worker crashes: back off first.
+                base = max(tasks[i].budget.retry_backoff for i in remaining)
+                cap = max(tasks[i].budget.backoff_cap for i in remaining)
+                time.sleep(backoff_delay(wave - 1, base, cap))
+            pool = self._ensure_pool()
+            if pool is None:
+                for i in remaining:
+                    results[i] = _run_one(tasks[i], deadline)
+                    in_process += 1
+                remaining = []
+                break
+
+            try:
+                futures = {
+                    pool.submit(
+                        self._worker, payloads[i], i, attempts[i], deadline_at
+                    ): i
+                    for i in remaining
+                }
+            except RuntimeError:
+                # The pool was shut down or broke between batches; drop it
+                # and let the next loop iteration recreate or degrade.
+                self._abandon_pool()
+                self._spawn_failures += 1
+                continue
+
+            retry: list[int] = []
+            broken = False
+            wedged = False
+            not_done = set(futures)
+            wait_until = self._wait_bound(deadline, tasks, remaining)
+            while not_done:
+                timeout = (
+                    None
+                    if wait_until is None
+                    else max(0.0, wait_until - time.monotonic())
+                )
+                done, not_done = _wait_futures(not_done, timeout=timeout)
+                if not done:
+                    wedged = True  # bound passed with workers outstanding
+                    break
+                for future in done:
+                    i = futures[future]
+                    error = future.exception()
+                    if error is None:
+                        outcome = future.result()
+                        outcome.attempts = attempts[i] + 1
+                        results[i] = outcome
+                        pooled += 1
+                    else:
+                        # The worker process died (BrokenProcessPool), or
+                        # the pool imploded some other way.  Task-level
+                        # retry: only this task re-runs, if its budget
+                        # still allows it.
+                        broken = True
+                        if attempts[i] < tasks[i].budget.max_retries:
+                            attempts[i] += 1
+                            retry.append(i)
+                        else:
+                            results[i] = SolveOutcome(
+                                decided=None,
+                                status="error",
+                                attempts=attempts[i] + 1,
+                            )
+            if wedged:
+                # The wait bound has passed: no budget is left for the
+                # unfinished tasks, including any queued for crash-retry.
+                for future, i in futures.items():
+                    if results[i] is None:
+                        future.cancel()
+                        results[i] = _timeout_outcome(attempts[i] + 1)
+                self._abandon_pool()  # its workers are stuck; start fresh
+                remaining = []
+                break
+            if broken:
+                self._abandon_pool()
+            remaining = sorted(retry)
+            if remaining:
+                wave += 1
+
+        if pooled and in_process:
+            self.last_dispatch = "mixed"
+        elif pooled or in_process == 0:
+            # Everything that produced a worker outcome ran in the pool
+            # (parent-marked timeouts still count as a parallel dispatch).
+            self.last_dispatch = "parallel"
+        else:
+            self.last_dispatch = "sequential"
+        assert all(outcome is not None for outcome in results)
+        return results  # type: ignore[return-value]
 
     def close(self) -> None:
         if self._pool is not None:

@@ -6,17 +6,27 @@ solver for cautious reasoning.  As the paper's experiments show, the cost of
 the exchange is embedded in every single query — this engine exists both as
 the reference implementation of Theorem 2 / Corollary 1 and as the baseline
 the segmentary engine is measured against.
+
+Resource governance mirrors the segmentary engine, with a coarser grain:
+there is only one program, so when a configured
+:class:`~repro.runtime.SolveBudget` cuts its solve off, *every*
+solver-decided candidate becomes unknown at once.  With ``allow_partial``
+the engine still returns something sound — the trivially-certain answers
+(an under-approximation) in certain mode, all candidate answers (an
+over-approximation) in possible mode — and lists the undecided candidates
+in ``last_stats.unknown_candidates``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.asp.reasoning import brave_consequences, cautious_consequences
 from repro.dependencies.mapping import SchemaMapping
 from repro.reduction.reduce import ReducedMapping, reduce_mapping
 from repro.relational.instance import Instance
 from repro.relational.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.runtime.budget import NO_BUDGET, SolveBudget, SolveBudgetExceeded
 from repro.xr.exchange import build_exchange_data
 from repro.xr.program import build_xr_program
 from repro.xr.queries import answers_from_facts, ground_query
@@ -24,11 +34,14 @@ from repro.xr.queries import answers_from_facts, ground_query
 
 @dataclass
 class MonolithicStats:
-    """Size diagnostics of the last program solved."""
+    """Size and degradation diagnostics of the last program solved."""
 
     atoms: int = 0
     rules: int = 0
     candidates: int = 0
+    # Budget degradation (empty/False without a configured budget).
+    degraded: bool = False
+    unknown_candidates: set[tuple] = field(default_factory=set)
 
 
 class MonolithicEngine:
@@ -45,6 +58,7 @@ class MonolithicEngine:
         mapping: SchemaMapping | ReducedMapping,
         instance: Instance,
         encoding: str = "repair",
+        budget: SolveBudget | None = None,
     ):
         if isinstance(mapping, ReducedMapping):
             self.reduced = mapping
@@ -52,28 +66,34 @@ class MonolithicEngine:
             self.reduced = reduce_mapping(mapping)
         self.instance = instance
         self.encoding = encoding
+        self.budget = budget if budget is not None else NO_BUDGET
         self.last_stats = MonolithicStats()
 
     def answer(
-        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        allow_partial: bool = False,
     ) -> set[tuple]:
         """The XR-Certain answers to ``query`` (a set of constant tuples)."""
-        return self._answer(query, mode="certain")
+        return self._answer(query, mode="certain", allow_partial=allow_partial)
 
     def possible_answers(
-        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        allow_partial: bool = False,
     ) -> set[tuple]:
         """The XR-Possible answers: tuples holding in *some* XR-solution.
 
         The brave counterpart of XR-Certain — the union instead of the
         intersection over exchange-repair solutions.
         """
-        return self._answer(query, mode="possible")
+        return self._answer(query, mode="possible", allow_partial=allow_partial)
 
     def _answer(
         self,
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
         mode: str,
+        allow_partial: bool = False,
     ) -> set[tuple]:
         rewritten = self.reduced.rewrite(query)
         data = build_exchange_data(self.reduced.gav, self.instance)
@@ -91,7 +111,31 @@ class MonolithicEngine:
         if not xr_program.query_atoms:
             return set()
         reason = cautious_consequences if mode == "certain" else brave_consequences
-        decided = reason(xr_program.program, xr_program.query_atoms.values())
+        deadline = self.budget.single_solve_deadline()
+        try:
+            decided = reason(
+                xr_program.program,
+                xr_program.query_atoms.values(),
+                deadline=deadline,
+            )
+        except SolveBudgetExceeded:
+            if not allow_partial:
+                raise
+            # The one big solve was cut off: every solver-decided
+            # candidate is unknown.  Certain mode keeps only the sound
+            # floor (trivially-certain candidates); possible mode keeps
+            # the sound ceiling (all candidates).
+            unknown = {
+                fact
+                for fact in xr_program.query_atoms
+                if fact not in xr_program.trivially_certain
+            }
+            self.last_stats.degraded = True
+            self.last_stats.unknown_candidates = answers_from_facts(unknown)
+            accepted = set(xr_program.trivially_certain)
+            if mode == "possible":
+                accepted |= unknown
+            return answers_from_facts(accepted)
         if decided is None:
             # No stable model means no XR-solution; cannot happen because the
             # empty sub-instance always has a solution, but stay defensive.

@@ -34,6 +34,7 @@ from repro.dependencies.mapping import SchemaMapping
 from repro.reduction.reduce import ReducedMapping, reduce_mapping
 from repro.relational.instance import Fact, Instance
 from repro.relational.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.runtime.budget import NO_BUDGET, SolveBudget, SolveBudgetExceeded
 from repro.runtime.cache import SignatureProgramCache, decision_key, program_key
 from repro.runtime.executor import (
     PackedProgram,
@@ -76,10 +77,20 @@ class QueryPhaseStats:
     cache_misses: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
-    # Which executor ran the batch, and the SatSolver statistics summed
-    # over every program solved by this call.
+    # How the batch actually ran (the executor's ``last_dispatch`` after
+    # the solve — "sequential"/"parallel"/"mixed" — not merely how the
+    # executor was configured), and the SatSolver statistics summed over
+    # every program solved by this call.
     executor: str = "sequential"
     solver_stats: dict[str, int] = field(default_factory=dict)
+    # Resource governance: groups cut off by the budget (their candidates
+    # are *unknown*, listed below as answer tuples), worker re-dispatches
+    # after crashes, and whether any degradation happened at all.  With no
+    # budget configured these stay at their defaults.
+    timeouts: int = 0
+    retries: int = 0
+    degraded: bool = False
+    unknown_candidates: set[tuple] = field(default_factory=set)
 
 
 @dataclass
@@ -135,6 +146,22 @@ class SegmentaryEngine:
       or ``False`` to disable caching;
     - ``parallel_threshold``: batches smaller than this solve in-process
       even when ``jobs > 1``.
+
+    Resource governance (``budget``, a :class:`~repro.runtime.SolveBudget`)
+    is the one knob that can change *what* is answered: a signature group
+    whose solve exceeds the budget is reported as **unknown** — with
+    ``allow_partial=True`` its candidates are excluded from certain
+    answers (sound under-approximation), conservatively included in
+    possible answers (sound over-approximation), and listed in
+    ``stats.unknown_candidates``; with ``allow_partial=False`` (the
+    default) the call raises :class:`~repro.runtime.SolveBudgetExceeded`.
+    With no budget configured, answers are bit-identical to an unbudgeted
+    engine.
+
+    The engine is a context manager; ``with SegmentaryEngine(...) as e:``
+    guarantees the executor's worker pool is released.  An executor
+    *passed in* by the caller is never closed by the engine (shared pools
+    stay up); only internally-created executors are.
     """
 
     def __init__(
@@ -146,6 +173,7 @@ class SegmentaryEngine:
         executor: SolveExecutor | None = None,
         cache: bool | SignatureProgramCache = True,
         parallel_threshold: int = 2,
+        budget: SolveBudget | None = None,
     ):
         if isinstance(mapping, ReducedMapping):
             self.reduced = mapping
@@ -154,6 +182,8 @@ class SegmentaryEngine:
         self.instance = instance
         self.encoding = encoding
         self.jobs = jobs
+        self.budget = budget if budget is not None else NO_BUDGET
+        self._owns_executor = executor is None
         if executor is not None:
             self.executor = executor
         else:
@@ -170,8 +200,19 @@ class SegmentaryEngine:
         self.last_query_stats = QueryPhaseStats()
 
     def close(self) -> None:
-        """Release executor resources (worker processes, if any)."""
-        self.executor.close()
+        """Release executor resources (worker processes, if any).
+
+        Only closes executors this engine created itself; an executor the
+        caller passed in (e.g. a pool shared across engines) is left up.
+        """
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "SegmentaryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------ exchange phase
 
@@ -197,14 +238,20 @@ class SegmentaryEngine:
     # --------------------------------------------------------- query phase
 
     def answer(
-        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        allow_partial: bool = False,
     ) -> set[tuple]:
         """The XR-Certain answers to ``query`` (a set of constant tuples)."""
-        answers, _stats = self.answer_with_stats(query, mode="certain")
+        answers, _stats = self.answer_with_stats(
+            query, mode="certain", allow_partial=allow_partial
+        )
         return answers
 
     def possible_answers(
-        self, query: ConjunctiveQuery | UnionOfConjunctiveQueries
+        self,
+        query: ConjunctiveQuery | UnionOfConjunctiveQueries,
+        allow_partial: bool = False,
     ) -> set[tuple]:
         """The XR-Possible answers: tuples holding in *some* XR-solution.
 
@@ -213,25 +260,40 @@ class SegmentaryEngine:
         iff it holds in some combination of repairs of its signature's
         clusters, i.e. iff its signature program answers bravely.
         """
-        answers, _stats = self.answer_with_stats(query, mode="possible")
+        answers, _stats = self.answer_with_stats(
+            query, mode="possible", allow_partial=allow_partial
+        )
         return answers
 
     def answer_with_stats(
         self,
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
         mode: str = "certain",
+        allow_partial: bool = False,
     ) -> tuple[set[tuple], QueryPhaseStats]:
         """Answer ``query`` and return ``(answers, stats)``.
 
         The stats object is freshly built per call (and also published as
         ``self.last_query_stats``); callers holding it never see it mutate
         under a later query.
+
+        When the engine's budget cuts a signature group off (timeout, or a
+        crashed worker out of retries), ``allow_partial`` decides the
+        behavior: ``True`` degrades gracefully — the group's undecided
+        candidates are reported in ``stats.unknown_candidates``, excluded
+        from certain answers and conservatively included in possible
+        answers, and never written to the caches — while ``False`` raises
+        :class:`~repro.runtime.SolveBudgetExceeded`.  Degraded certain
+        answers are always a subset of the exact ones, degraded possible
+        answers a superset.
         """
         self.exchange()
         assert self.data is not None and self.analysis is not None
         started = time.perf_counter()
         data, analysis = self.data, self.analysis
         stats = QueryPhaseStats(executor=self.executor.name)
+        clock = self.budget.started()  # None unless a deadline is set
+        unknown: set[Fact] = set()
 
         rewritten = self.reduced.rewrite(query)
         groundings = ground_query(rewritten, data.chased)
@@ -272,6 +334,18 @@ class SegmentaryEngine:
         tasks: list[SolveTask] = []
         build_started = time.perf_counter()
         for signature, candidates in by_signature.items():
+            if clock is not None and clock.expired():
+                # Deadline passed during program construction: everything
+                # still unresolved is unknown — never silently dropped,
+                # never fabricated.
+                if not allow_partial:
+                    raise SolveBudgetExceeded(
+                        "query deadline exceeded while building signature "
+                        "programs"
+                    )
+                stats.timeouts += 1
+                unknown.update(candidates)
+                continue
             group = self._resolve_group(
                 signature, candidates, supports_by_candidate,
                 safe_facts, mode, stats,
@@ -289,6 +363,7 @@ class SegmentaryEngine:
                         program=PackedProgram.pack(group.xr_program.program),
                         query_atom_ids=tuple(sorted(group.solve_atoms.values())),
                         mode=mode,
+                        budget=self.budget,
                     )
                 )
             else:
@@ -296,8 +371,23 @@ class SegmentaryEngine:
         stats.build_seconds = time.perf_counter() - build_started
 
         if tasks:
-            outcomes = self.executor.run(tasks)
+            outcomes = self.executor.run(tasks, deadline=clock)
+            stats.executor = self.executor.last_dispatch
             for group, outcome in zip(pending, outcomes):
+                stats.retries += max(0, outcome.attempts - 1)
+                if not outcome.ok:
+                    # This group's solve was cut off (deadline, per-task
+                    # timeout, or a crashed worker out of retries): its
+                    # candidates are *unknown*.  Nothing is cached — an
+                    # unknown is a budget artifact, not a verdict.
+                    if not allow_partial:
+                        raise SolveBudgetExceeded(
+                            f"signature solve {outcome.status}: "
+                            f"{len(group.solve_atoms)} candidate(s) undecided"
+                        )
+                    stats.timeouts += 1
+                    unknown.update(group.solve_atoms)
+                    continue
                 if outcome.decided is None:
                     raise RuntimeError("a signature program has no stable model")
                 stats.programs_solved += 1
@@ -315,6 +405,14 @@ class SegmentaryEngine:
                 accepted |= newly
                 self._finalize_group(group, newly, mode)
 
+        if unknown:
+            stats.degraded = True
+            stats.unknown_candidates = answers_from_facts(unknown)
+            if mode == "possible":
+                # Conservative over-approximation: a candidate we could
+                # not decide might hold in some XR-solution, so possible
+                # answers must include it (exact-possible ⊆ degraded).
+                accepted |= unknown
         stats.seconds = time.perf_counter() - started
         # Single-assignment publication: the shared attribute is never
         # mutated in place while a query phase is running.

@@ -1,0 +1,72 @@
+"""Fault-injection differential checks (repro.fuzz.faults).
+
+Tier-1 covers plan determinism and two known-interesting seeds (one whose
+guaranteed index-0 fault is a hang — the degradation path — and one whose
+fault is a crash — the recovery path).  The 25-seed sweep mirrors the CI
+fault-smoke job and is excluded from tier-1 via the ``faults`` marker.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.fuzz.faults import fault_plan_for_seed, run_fault_check
+from repro.fuzz.generator import DEFAULT_CONFIG, random_scenario
+
+FAULT_CONFIG = replace(DEFAULT_CONFIG, check_faults=True)
+
+# Under DEFAULT_CONFIG these seeds produce scenarios whose query phase
+# actually dispatches solver tasks (most random scenarios are decided
+# trivially), so the injected faults really fire.
+HANG_SEED = 15    # index 0 hangs: exercises degradation
+CRASH_SEED = 34   # index 0 crashes: exercises retry recovery
+
+
+class TestFaultPlans:
+    def test_deterministic_per_seed(self):
+        for seed in (0, 1, 7, 15, 34, 1000):
+            assert fault_plan_for_seed(seed) == fault_plan_for_seed(seed)
+
+    def test_distinct_across_seeds(self):
+        plans = {fault_plan_for_seed(seed) for seed in range(20)}
+        assert len(plans) > 1
+
+    def test_index_zero_always_faulted(self):
+        # Segmentary batches are often a single task; a plan that never
+        # touches index 0 would inject nothing on them.
+        for seed in range(50):
+            plan = fault_plan_for_seed(seed)
+            assert 0 in (plan.crash_on | plan.hang_on)
+            assert not (plan.crash_on & plan.hang_on)
+
+    def test_validation_rejects_useless_hangs(self):
+        with pytest.raises(ValueError):
+            replace(
+                DEFAULT_CONFIG,
+                check_faults=True,
+                fault_deadline=2.0,
+                fault_hang_seconds=1.0,
+            )
+
+
+class TestKnownSeeds:
+    def test_hang_seed_invariants_hold(self):
+        scenario = random_scenario(HANG_SEED, FAULT_CONFIG)
+        problems = run_fault_check(scenario, FAULT_CONFIG, seed=HANG_SEED)
+        assert problems == []
+
+    def test_crash_seed_recovers_exactly(self):
+        scenario = random_scenario(CRASH_SEED, FAULT_CONFIG)
+        problems = run_fault_check(scenario, FAULT_CONFIG, seed=CRASH_SEED)
+        assert problems == []
+
+
+@pytest.mark.faults
+class TestFaultSweep:
+    def test_twenty_five_seeds(self):
+        failures = []
+        for seed in range(25):
+            scenario = random_scenario(seed, FAULT_CONFIG)
+            problems = run_fault_check(scenario, FAULT_CONFIG, seed=seed)
+            failures.extend(f"seed {seed}: {p}" for p in problems)
+        assert failures == []

@@ -1,0 +1,203 @@
+"""Graceful degradation under budgets and injected faults (engine level).
+
+The contract under test (DESIGN §9): with ``allow_partial=True`` a budget
+can only move candidates into the *unknown* set, never flip a verdict —
+degraded-certain ⊆ exact-certain ⊆ degraded-certain ∪ unknown, and
+exact-possible ⊆ degraded-possible ⊆ exact-possible ∪ unknown.  Without a
+budget, behavior is bit-identical to the pre-budget engine.
+"""
+
+import time
+
+import pytest
+
+from repro.fuzz.faults import FaultInjectingExecutor, FaultPlan
+from repro.parser import parse_mapping, parse_query
+from repro.relational import Fact, Instance
+from repro.runtime import (
+    SequentialExecutor,
+    SignatureProgramCache,
+    SolveBudget,
+    SolveBudgetExceeded,
+)
+from repro.xr.monolithic import MonolithicEngine
+from repro.xr.segmentary import SegmentaryEngine
+
+
+def key_mapping():
+    return parse_mapping(
+        """
+        SOURCE R/2. TARGET P/2.
+        R(x, y) -> P(x, y).
+        P(x, y), P(x, z) -> y = z.
+        """
+    )
+
+
+def two_cluster_instance() -> Instance:
+    """Two structurally-distinct key-violation clusters (so the query
+    phase builds two signature programs) plus one safe fact."""
+    return Instance(
+        [
+            Fact("R", ("k0", "v0")), Fact("R", ("k0", "v1")),
+            Fact("R", ("k1", "v0")), Fact("R", ("k1", "v1")),
+            Fact("R", ("k1", "v2")),
+            Fact("R", ("safe", "v")),
+        ]
+    )
+
+
+QUERY = "q(x) :- P(x, y)."
+EXACT = {("k0",), ("k1",), ("safe",)}  # certain == possible here
+
+HANG_PLAN = FaultPlan(hang_on=frozenset({0}), hang_seconds=30.0)
+TIGHT = SolveBudget(deadline=1.0, task_timeout=0.4, max_retries=1,
+                    retry_backoff=0.01)
+
+
+def degraded_engine(plan: FaultPlan, budget: SolveBudget, **kwargs):
+    executor = FaultInjectingExecutor(plan, jobs=2, deadline_grace=0.25)
+    return executor, SegmentaryEngine(
+        key_mapping(), two_cluster_instance(),
+        executor=executor, budget=budget, **kwargs
+    )
+
+
+class TestSegmentaryDegradation:
+    def test_hang_degrades_to_sound_partial_certain_answers(self):
+        query = parse_query(QUERY)
+        executor, engine = degraded_engine(HANG_PLAN, TIGHT, cache=False)
+        with executor, engine:
+            started = time.perf_counter()
+            answers, stats = engine.answer_with_stats(
+                query, mode="certain", allow_partial=True
+            )
+            elapsed = time.perf_counter() - started
+        assert stats.degraded
+        assert stats.timeouts >= 1
+        assert stats.unknown_candidates  # the hung group, reported not dropped
+        assert answers < EXACT  # sound under-approximation, strictly partial
+        assert ("safe",) in answers  # trivially-certain floor survives
+        assert answers | stats.unknown_candidates >= EXACT  # nothing vanished
+        assert elapsed < 10.0  # bounded by the deadline, not the 30s hang
+
+    def test_hang_degrades_to_sound_partial_possible_answers(self):
+        query = parse_query(QUERY)
+        executor, engine = degraded_engine(HANG_PLAN, TIGHT, cache=False)
+        with executor, engine:
+            answers, stats = engine.answer_with_stats(
+                query, mode="possible", allow_partial=True
+            )
+        assert stats.degraded
+        # Possible mode conservatively *includes* the unknowns.
+        assert answers >= EXACT
+        assert answers <= EXACT | stats.unknown_candidates
+
+    def test_allow_partial_false_raises(self):
+        query = parse_query(QUERY)
+        executor, engine = degraded_engine(HANG_PLAN, TIGHT, cache=False)
+        with executor, engine:
+            with pytest.raises(SolveBudgetExceeded):
+                engine.answer(query)
+
+    def test_unknowns_are_never_cached(self):
+        query = parse_query(QUERY)
+        cache = SignatureProgramCache()
+        executor, engine = degraded_engine(HANG_PLAN, TIGHT, cache=cache)
+        with executor, engine:
+            degraded, stats = engine.answer_with_stats(
+                query, mode="certain", allow_partial=True
+            )
+        assert stats.degraded
+        # A clean engine sharing the same cache must still solve the
+        # skipped group itself and reach the exact answers: a timeout must
+        # not have been recorded as a verdict.
+        with SegmentaryEngine(
+            key_mapping(), two_cluster_instance(), cache=cache
+        ) as clean:
+            exact = clean.answer(query)
+            assert clean.last_query_stats.programs_solved >= 1
+        assert exact == EXACT
+
+    def test_crash_with_retries_is_invisible(self):
+        query = parse_query(QUERY)
+        plan = FaultPlan(crash_on=frozenset({0, 1}), crash_attempts=1)
+        budget = SolveBudget(max_retries=2, retry_backoff=0.01)
+        executor, engine = degraded_engine(plan, budget, cache=True)
+        with executor, engine:
+            answers, stats = engine.answer_with_stats(
+                query, mode="certain", allow_partial=True
+            )
+            assert answers == EXACT
+            assert not stats.degraded
+            assert stats.retries >= 1
+            # The post-recovery cache is as good as a clean one: a repeat
+            # query is answered entirely from it.
+            again, warm_stats = engine.answer_with_stats(
+                query, mode="certain", allow_partial=True
+            )
+        assert again == EXACT
+        assert warm_stats.programs_solved == 0
+
+    def test_no_budget_is_bit_identical(self):
+        query = parse_query(QUERY)
+        with SegmentaryEngine(key_mapping(), two_cluster_instance()) as engine:
+            answers, stats = engine.answer_with_stats(query, mode="certain")
+        assert answers == EXACT
+        assert not stats.degraded
+        assert stats.timeouts == stats.retries == 0
+        assert stats.unknown_candidates == set()
+
+
+class TestExecutorOwnership:
+    def test_engine_closes_the_executor_it_created(self):
+        engine = SegmentaryEngine(
+            key_mapping(), two_cluster_instance(), jobs=2
+        )
+        assert engine._owns_executor
+        with engine:
+            pass  # exchange not even run; close must still be safe
+
+    def test_engine_leaves_a_shared_executor_open(self):
+        class Spy(SequentialExecutor):
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        spy = Spy()
+        with SegmentaryEngine(
+            key_mapping(), two_cluster_instance(), executor=spy
+        ) as engine:
+            assert not engine._owns_executor
+        assert not spy.closed  # the owner (this test) closes it, not the engine
+        spy.close()
+
+
+class TestMonolithicDegradation:
+    def test_budget_cutoff_reports_unknowns(self):
+        query = parse_query(QUERY)
+        budget = SolveBudget(task_timeout=1e-9)
+        engine = MonolithicEngine(key_mapping(), two_cluster_instance(),
+                                  budget=budget)
+        certain = engine.answer(query, allow_partial=True)
+        assert engine.last_stats.degraded
+        unknown = engine.last_stats.unknown_candidates
+        assert certain <= EXACT
+        assert certain | unknown >= EXACT
+        possible = engine.possible_answers(query, allow_partial=True)
+        assert possible >= EXACT
+        assert possible <= EXACT | engine.last_stats.unknown_candidates
+
+    def test_allow_partial_false_raises(self):
+        query = parse_query(QUERY)
+        engine = MonolithicEngine(key_mapping(), two_cluster_instance(),
+                                  budget=SolveBudget(task_timeout=1e-9))
+        with pytest.raises(SolveBudgetExceeded):
+            engine.answer(query)
+
+    def test_no_budget_is_exact(self):
+        query = parse_query(QUERY)
+        engine = MonolithicEngine(key_mapping(), two_cluster_instance())
+        assert engine.answer(query) == EXACT
+        assert not engine.last_stats.degraded
