@@ -53,6 +53,9 @@ class SatSolver:
         self.ok = True  # False once a top-level conflict is found
         self._conflicts_total = 0
         self._propagations_total = 0
+        self._decisions_total = 0
+        self._restarts_total = 0
+        self._interrupt_polls_total = 0
         # Cooperative cancellation: when set, called every
         # ``_INTERRUPT_GRANULARITY`` search-loop iterations; it may raise
         # (e.g. ``SolveBudgetExceeded``) to abort the search.  None (the
@@ -340,6 +343,7 @@ class SatSolver:
                 self._interrupt_tick += 1
                 if self._interrupt_tick >= _INTERRUPT_GRANULARITY:
                     self._interrupt_tick = 0
+                    self._interrupt_polls_total += 1
                     self.interrupt_check()
             conflict = self.propagate()
             if conflict is not None:
@@ -370,6 +374,7 @@ class SatSolver:
                 self.var_inc /= self.var_decay
                 if conflicts_here >= conflict_budget:
                     restart_count += 1
+                    self._restarts_total += 1
                     conflict_budget = 64 * self._luby(restart_count)
                     conflicts_here = 0
                     self._backtrack(0)
@@ -388,6 +393,7 @@ class SatSolver:
                 decision = self._decide()
                 if decision == 0:
                     return True  # complete assignment: model found
+            self._decisions_total += 1
             self.trail_lim.append(len(self.trail))
             self._enqueue(decision, None)
 
@@ -405,4 +411,7 @@ class SatSolver:
             "clauses": len(self.clauses),
             "conflicts": self._conflicts_total,
             "propagations": self._propagations_total,
+            "decisions": self._decisions_total,
+            "restarts": self._restarts_total,
+            "interrupt_polls": self._interrupt_polls_total,
         }

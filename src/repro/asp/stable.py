@@ -125,6 +125,9 @@ class StableModelEngine:
         self.is_normal = all(len(r.head) <= 1 for r in self.rules)
         self.num_atoms = program.num_atoms
         self._exhausted = False
+        self._candidates_tested = 0
+        self._models_found = 0
+        self._loop_formulas = 0
         self._build_generator()
         self._add_upfront_loop_formulas()
 
@@ -329,6 +332,7 @@ class StableModelEngine:
                 external_literals.append(tau)
         for atom in unfounded:
             self.solver.add_clause([-atom] + external_literals)
+        self._loop_formulas += 1
 
     # ----------------------------------------------------------- interface
 
@@ -360,16 +364,19 @@ class StableModelEngine:
             candidate = frozenset(
                 atom for atom in self.head_atoms if values[atom]
             )
+            self._candidates_tested += 1
             if self.is_normal:
                 least = self._least_model_of_reduct(candidate)
                 if least == candidate:
                     self._exclude(candidate)
+                    self._models_found += 1
                     return candidate
                 self._refine_with_unfounded(frozenset(candidate - least))
             else:
                 witness = self._minimality_witness(candidate)
                 if witness is None:
                     self._exclude(candidate)
+                    self._models_found += 1
                     return candidate
                 self._refine_with_unfounded(frozenset(candidate - witness))
 
@@ -386,6 +393,17 @@ class StableModelEngine:
         ]
         if not self.solver.add_clause(clause):
             self._exhausted = True
+
+    @property
+    def statistics(self) -> dict[str, int]:
+        """Search statistics: the SAT solver's counters plus the
+        generate-and-test loop's own (candidates tested against
+        minimality, stable models found, loop formulas installed)."""
+        stats = dict(self.solver.statistics)
+        stats["candidates_tested"] = self._candidates_tested
+        stats["stable_models_found"] = self._models_found
+        stats["loop_formulas"] = self._loop_formulas
+        return stats
 
     def stable_models(self, limit: int | None = None) -> Iterator[frozenset[int]]:
         """Yield stable models until exhaustion (or ``limit`` models)."""

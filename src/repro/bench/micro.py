@@ -35,6 +35,7 @@ from repro.bench.reporting import format_table
 from repro.genomics.instances import InstanceProfile, build_instance
 from repro.genomics.queries import query_by_name
 from repro.genomics.schema import genome_mapping
+from repro.obs.recorder import Recorder
 from repro.reduction.reduce import ReducedMapping, reduce_mapping
 from repro.xr.envelope import analyze_envelopes
 from repro.xr.exchange import build_exchange_data
@@ -87,8 +88,15 @@ def run_micro_scenario(
     reduced: ReducedMapping | None = None,
     repeats: int = 3,
     queries: tuple[str, ...] = MICRO_QUERIES,
+    obs: Recorder | None = None,
 ) -> dict:
-    """Measure one scenario; returns the per-stage median timing payload."""
+    """Measure one scenario; returns the per-stage median timing payload.
+
+    With a live ``obs`` recorder the run is *traced* — per-phase spans and
+    work counters are recorded alongside the timings, at the cost of
+    instrumentation overhead.  Traced numbers are for drill-down, not for
+    timing baselines (EXPERIMENTS.md).
+    """
     profile = parse_scenario_name(name)
     if reduced is None:
         reduced = reduce_mapping(genome_mapping())
@@ -101,7 +109,7 @@ def run_micro_scenario(
     for _ in range(max(1, repeats)):
         timings: dict[str, float] = {}
         started = time.perf_counter()
-        data = build_exchange_data(reduced.gav, instance, timings=timings)
+        data = build_exchange_data(reduced.gav, instance, timings=timings, obs=obs)
         built_at = time.perf_counter()
         analysis = analyze_envelopes(data)
         done = time.perf_counter()
@@ -126,7 +134,7 @@ def run_micro_scenario(
         # A fresh engine per repeat, seeded with the measured exchange
         # artifacts (caches off: program build and solving must actually
         # run — a warm cache would measure dictionary lookups instead).
-        engine = SegmentaryEngine(reduced, instance, cache=False)
+        engine = SegmentaryEngine(reduced, instance, cache=False, obs=obs)
         engine.data = data
         engine.analysis = analysis
         run = {"program_build": 0.0, "solve": 0.0, "query_total": 0.0}
@@ -169,6 +177,7 @@ def run_micro(
     repeats: int = 3,
     queries: tuple[str, ...] = MICRO_QUERIES,
     log: Callable[[str], None] | None = None,
+    obs: Recorder | None = None,
 ) -> dict:
     """Run the micro-benchmark grid and return the artifact payload."""
     if scenarios is None:
@@ -178,7 +187,7 @@ def run_micro(
     for name in scenarios:
         started = time.perf_counter()
         results[name] = run_micro_scenario(
-            name, reduced=reduced, repeats=repeats, queries=queries
+            name, reduced=reduced, repeats=repeats, queries=queries, obs=obs
         )
         if log is not None:
             row = results[name]

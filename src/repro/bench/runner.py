@@ -15,6 +15,7 @@ from repro.genomics.instances import INSTANCE_PROFILES, build_instance
 from repro.genomics.generator import GeneratedInstance
 from repro.genomics.queries import query_by_name
 from repro.genomics.schema import genome_mapping
+from repro.obs.recorder import Recorder
 from repro.reduction.reduce import ReducedMapping, reduce_mapping
 from repro.runtime.budget import SolveBudget
 from repro.xr.monolithic import MonolithicEngine
@@ -34,16 +35,19 @@ class QueryResult:
 class BenchmarkContext:
     """Session-wide cache of reduced mapping, instances, and engines.
 
-    ``jobs``, ``cache``, and ``budget`` are forwarded to every segmentary
+    ``jobs``, ``cache``, ``budget``, and ``obs`` are forwarded to every
     engine this context builds (warm engines are memoized per profile, so
     one context measures one runtime configuration).  Benchmarks that set
     a ``budget`` must report degradation (``stats.timeouts``) alongside
     timings — a degraded measurement is not comparable to an exact one.
+    Likewise, a context with a live ``obs`` recorder produces *traced*
+    measurements, excluded from timing baselines (see EXPERIMENTS.md).
     """
 
     jobs: int = 1
     cache: bool = True
     budget: SolveBudget | None = None
+    obs: Recorder | None = None
     _reduced: ReducedMapping | None = None
     _instances: dict[str, GeneratedInstance] = field(default_factory=dict)
     _segmentary: dict[str, SegmentaryEngine] = field(default_factory=dict)
@@ -67,6 +71,7 @@ class BenchmarkContext:
                 jobs=self.jobs,
                 cache=self.cache,
                 budget=self.budget,
+                obs=self.obs,
             )
             engine.exchange()
             self._segmentary[profile] = engine
@@ -90,6 +95,7 @@ class BenchmarkContext:
             self.reduced_mapping(),
             self.instance(profile).instance,
             budget=self.budget,
+            obs=self.obs,
         )
 
 

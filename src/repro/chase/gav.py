@@ -119,11 +119,16 @@ def gav_chase(
     instance: Instance,
     rules: Sequence[TGD],
     max_rounds: int = 1_000_000,
+    stats: dict[str, int] | None = None,
 ) -> Instance:
     """Compute the least fixpoint of ``rules`` over ``instance`` (a copy).
 
     Semi-naive evaluation: round ``k`` matches each rule body with at least
     one atom bound to a fact derived in round ``k - 1``.
+
+    When ``stats`` is a dict, the deterministic work counters ``rounds``
+    (semi-naive delta iterations) and ``derived_facts`` (facts added
+    beyond the input) are recorded into it (observability; answer-neutral).
     """
     _check_rules(rules)
     work = instance.copy()
@@ -167,6 +172,9 @@ def gav_chase(
                     if work.add(head_fact):
                         next_delta.append(head_fact)
         delta = next_delta
+    if stats is not None:
+        stats["rounds"] = rounds
+        stats["derived_facts"] = len(work) - len(instance)
     return work
 
 

@@ -22,6 +22,7 @@ import sys
 import time
 from typing import Sequence
 
+from repro.obs import Recorder, write_prometheus, write_trace_json
 from repro.parser import parse_instance, parse_mapping, parse_program
 from repro.runtime.budget import NO_BUDGET, SolveBudget
 from repro.xr.monolithic import MonolithicEngine
@@ -35,6 +36,24 @@ def _load(arguments) -> tuple:
     with open(arguments.data) as handle:
         instance = parse_instance(handle.read())
     return mapping, instance
+
+
+def _recorder_from(arguments) -> Recorder | None:
+    """A live recorder when ``--trace`` or ``--metrics`` was given."""
+    if getattr(arguments, "trace", None) or getattr(arguments, "metrics", None):
+        return Recorder.create()
+    return None
+
+
+def _write_observability(arguments, obs: Recorder | None) -> None:
+    if obs is None:
+        return
+    if arguments.trace:
+        path = write_trace_json(arguments.trace, obs)
+        print(f"% trace written to {path}")
+    if arguments.metrics:
+        path = write_prometheus(arguments.metrics, obs.metrics)
+        print(f"% metrics written to {path}")
 
 
 def _budget_from(arguments) -> SolveBudget:
@@ -57,12 +76,13 @@ def _command_answer(arguments) -> int:
     allow_partial = not budget.is_null
     mode = "possible" if arguments.possible else "certain"
     kind = "XR-Possible" if arguments.possible else "XR-Certain"
+    obs = _recorder_from(arguments)
     started = time.perf_counter()
     degraded = False
     unknown: set = set()
     phase_note = None
     if arguments.method == "monolithic":
-        engine = MonolithicEngine(mapping, instance, budget=budget)
+        engine = MonolithicEngine(mapping, instance, budget=budget, obs=obs)
         if arguments.possible:
             answers = engine.possible_answers(query, allow_partial=allow_partial)
         else:
@@ -71,7 +91,7 @@ def _command_answer(arguments) -> int:
         unknown = engine.last_stats.unknown_candidates
     else:
         with SegmentaryEngine(
-            mapping, instance, jobs=arguments.jobs, budget=budget
+            mapping, instance, jobs=arguments.jobs, budget=budget, obs=obs
         ) as engine:
             answers, stats = engine.answer_with_stats(
                 query, mode=mode, allow_partial=allow_partial
@@ -106,6 +126,7 @@ def _command_answer(arguments) -> int:
     for row in sorted(answers, key=repr):
         inner = ", ".join(repr(value) for value in row)
         print(f"{query.name}({inner}).")
+    _write_observability(arguments, obs)
     return 0
 
 
@@ -192,16 +213,19 @@ def _command_bench(arguments) -> int:
         tuple(arguments.queries.split(",")) if arguments.queries
         else MICRO_QUERIES
     )
+    obs = _recorder_from(arguments)
     payload = run_micro(
         scenarios=scenarios,
         repeats=arguments.repeats,
         queries=queries,
         log=print_flush,
+        obs=obs,
     )
     print(format_micro_table(payload))
     if arguments.json:
         path = write_benchmark_json(arguments.json, payload)
         print(f"% artifact written to {path}")
+    _write_observability(arguments, obs)
     return 0
 
 
@@ -219,7 +243,18 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("-d", "--data", required=True,
                          help="source instance file (ground facts)")
 
-    answer = commands.add_parser("answer", help="answer a target query")
+    def observability(sub):
+        sub.add_argument("--trace", metavar="PATH",
+                         help="record nested phase spans and write the "
+                         "JSON trace document to PATH (adds overhead; "
+                         "answers are unchanged)")
+        sub.add_argument("--metrics", metavar="PATH",
+                         help="record work counters and write "
+                         "Prometheus-style text to PATH")
+
+    answer = commands.add_parser(
+        "answer", aliases=["query"], help="answer a target query"
+    )
     common(answer)
     answer.add_argument("-q", "--query", required=True,
                         help='query text, e.g. "q(x) :- T(x, y)."')
@@ -242,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("--retries", type=int, default=0, metavar="N",
                         help="re-dispatch attempts for tasks whose worker "
                         "process crashed (default 0)")
+    observability(answer)
     answer.set_defaults(run=_command_answer)
 
     repairs = commands.add_parser("repairs", help="enumerate XR-solutions")
@@ -300,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
                        "query-phase stages (default ep2,xr2,xr4)")
     bench.add_argument("--json", metavar="PATH",
                        help="write the artifact payload to PATH")
+    observability(bench)
     bench.set_defaults(run=_command_bench)
     return parser
 

@@ -151,6 +151,75 @@ def load_golden_answers(directory: str | Path) -> dict[str, dict[str, list[str]]
     return json.loads((Path(directory) / GOLDEN_ANSWERS_FILE).read_text())
 
 
+# ------------------------------------------------ golden metric records
+
+#: The checked-in golden-metrics file: the deterministic observability
+#: counters (chase rounds, groundings, clusters, ground rules, cache
+#: traffic) of a fixed scenario pair, asserted bit-identical by the
+#: regression test so pipeline rewrites cannot silently change how much
+#: work the engine does — even when the answers stay right.
+GOLDEN_METRICS_FILE = "golden_metrics.json"
+
+#: The corpus scenarios pinned by the golden-metrics record: the
+#: hand-built DESIGN §7 case (solver-decided candidates, one cluster)
+#: and a generator sample with egd violations but no solves — together
+#: they cover the cached, solved, safe, and violation-only code paths.
+GOLDEN_METRICS_SCENARIOS = ("figure1-errata", "ibench-seed-0003")
+
+#: Counter families included in the golden record.  Solver search
+#: statistics (decisions, conflicts, restarts) and timing histograms are
+#: deliberately excluded: they are answer-neutral but can vary with hash
+#: seeds and clause ordering, while these structural counters are
+#: bit-identical across runs, platforms, and ``PYTHONHASHSEED``.
+GOLDEN_METRIC_PREFIXES = ("cache_", "exchange_", "queries_", "query_")
+
+
+def scenario_metrics(scenario: Scenario) -> dict[str, int]:
+    """The deterministic observability counters of one scenario.
+
+    Runs the segmentary engine under a live recorder, answering the
+    query in certain then possible mode, and returns the structural
+    counter subset selected by :data:`GOLDEN_METRIC_PREFIXES`.
+    """
+    from repro.obs.recorder import Recorder
+    from repro.xr.segmentary import SegmentaryEngine
+
+    obs = Recorder.create()
+    reduced = reduce_mapping(scenario.mapping)
+    with SegmentaryEngine(reduced, scenario.instance, obs=obs) as engine:
+        engine.answer(scenario.query)
+        engine.possible_answers(scenario.query)
+    return {
+        name: value
+        for name, value in obs.metrics.counter_values().items()
+        if name.startswith(GOLDEN_METRIC_PREFIXES)
+    }
+
+
+def record_golden_metrics(directory: str | Path) -> Path:
+    """(Re)record ``golden_metrics.json`` for the pinned scenario pair.
+
+    Only run this deliberately (it *defines* the expected counters); the
+    regression test replays the scenarios against the committed file.
+    """
+    import json
+
+    directory = Path(directory)
+    goldens = {
+        name: scenario_metrics(load_repro(directory / f"{name}{REPRO_SUFFIX}"))
+        for name in GOLDEN_METRICS_SCENARIOS
+    }
+    target = directory / GOLDEN_METRICS_FILE
+    target.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_golden_metrics(directory: str | Path) -> dict[str, dict[str, int]]:
+    import json
+
+    return json.loads((Path(directory) / GOLDEN_METRICS_FILE).read_text())
+
+
 # ------------------------------------------------- the checked-in corpus
 
 

@@ -1,7 +1,7 @@
 """The original randomized cross-validation generator (migrated).
 
-This module is the library home of what used to live in
-``tests/test_xr/xval_helper.py``: a seeded generator of small random
+This module is the library home of what used to live in the (now retired)
+``tests/test_xr`` helper shim: a seeded generator of small random
 ``glav+(wa-glav, egd)`` schema mappings, source instances, and conjunctive
 queries, plus :func:`check_scenario`, which runs all three XR-Certain
 implementations and returns their answers for comparison.

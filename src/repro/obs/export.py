@@ -1,0 +1,205 @@
+"""Exporters: trace documents (JSON) and flat Prometheus-style text.
+
+The JSON trace document is the single artifact ``repro query --trace``
+emits and the CI smoke validates::
+
+    {
+      "kind": "repro-trace",
+      "version": 1,
+      "spans": [ {"name": ..., "start": ..., "end": ...,
+                  "tags": {...}, "counters": {...}, "children": [...]}, ... ],
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
+    }
+
+:func:`validate_trace_document` checks the schema structurally (types,
+required keys, start/end sanity, histogram cell arithmetic) and returns a
+list of problems, so tests and CI can assert emptiness with a readable
+failure.  :func:`spans_from_document` rebuilds :class:`~repro.obs.tracing.Span`
+trees, giving exporter → parser round-trips.
+
+The Prometheus text format follows the exposition conventions (``# TYPE``
+comments, ``_total`` counters as written, histogram ``_bucket{le=...}`` /
+``_sum`` / ``_count`` series) without claiming full openmetrics
+compliance — it is flat, greppable, and diffable, which is what the
+benchmarks need.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import Metrics, NoopMetrics
+from repro.obs.recorder import Recorder
+from repro.obs.tracing import Span, validate_span_tree
+
+#: Bumped when the document layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+TRACE_KIND = "repro-trace"
+
+
+def trace_document(obs: Recorder) -> dict[str, Any]:
+    """The plain-data trace document of one recorder."""
+    return {
+        "kind": TRACE_KIND,
+        "version": TRACE_SCHEMA_VERSION,
+        "spans": [span.to_dict() for span in obs.tracer.finished],
+        "metrics": obs.metrics.as_dict(),
+    }
+
+
+def write_trace_json(path: str | Path, obs: Recorder, *, indent: int = 2) -> Path:
+    """Serialize the recorder's trace document to ``path``."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(trace_document(obs), indent=indent, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def spans_from_document(document: dict[str, Any]) -> list[Span]:
+    """Rebuild the span trees of a trace document (round-trip parser)."""
+    return [Span.from_dict(payload) for payload in document.get("spans", ())]
+
+
+# ------------------------------------------------------------- validation
+
+
+def _check_span(payload: Any, path: str, problems: list[str]) -> None:
+    if not isinstance(payload, dict):
+        problems.append(f"{path}: span is not an object")
+        return
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{path}: missing or empty span name")
+        name = "?"
+    label = f"{path}/{name}"
+    for key in ("start", "end"):
+        if not isinstance(payload.get(key), (int, float)):
+            problems.append(f"{label}: {key} is not a number")
+    if not isinstance(payload.get("tags", {}), dict):
+        problems.append(f"{label}: tags is not an object")
+    counters = payload.get("counters", {})
+    if not isinstance(counters, dict):
+        problems.append(f"{label}: counters is not an object")
+    else:
+        for key, value in counters.items():
+            if not isinstance(value, int):
+                problems.append(f"{label}: counter {key}={value!r} not an int")
+    children = payload.get("children", [])
+    if not isinstance(children, list):
+        problems.append(f"{label}: children is not a list")
+        return
+    for index, child in enumerate(children):
+        _check_span(child, f"{label}[{index}]", problems)
+
+
+def validate_trace_document(document: Any) -> list[str]:
+    """Structural problems of a trace document (empty list = valid).
+
+    Beyond plain JSON-shape checks, every span tree is run through
+    :func:`~repro.obs.tracing.validate_span_tree`, so a document that
+    parses but violates the nesting/monotonicity invariants still fails.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("kind") != TRACE_KIND:
+        problems.append(f"kind is {document.get('kind')!r}, expected {TRACE_KIND!r}")
+    if document.get("version") != TRACE_SCHEMA_VERSION:
+        problems.append(
+            f"version is {document.get('version')!r}, "
+            f"expected {TRACE_SCHEMA_VERSION}"
+        )
+    spans = document.get("spans")
+    if not isinstance(spans, list):
+        problems.append("spans is not a list")
+        spans = []
+    for index, payload in enumerate(spans):
+        _check_span(payload, f"spans[{index}]", problems)
+    if not problems:
+        for index, payload in enumerate(spans):
+            for issue in validate_span_tree(Span.from_dict(payload)):
+                problems.append(f"spans[{index}]{issue}")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics is not an object")
+        return problems
+    for family in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(family), dict):
+            problems.append(f"metrics.{family} is not an object")
+    for name, value in metrics.get("counters", {}).items():
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"metrics.counters.{name}={value!r} invalid")
+    for name, data in metrics.get("histograms", {}).items():
+        if not isinstance(data, dict):
+            problems.append(f"metrics.histograms.{name} is not an object")
+            continue
+        boundaries = data.get("boundaries")
+        counts = data.get("counts")
+        if not isinstance(boundaries, list) or not isinstance(counts, list):
+            problems.append(f"metrics.histograms.{name}: malformed cells")
+            continue
+        if len(counts) != len(boundaries) + 1:
+            problems.append(
+                f"metrics.histograms.{name}: {len(counts)} cells for "
+                f"{len(boundaries)} boundaries (want boundaries+1)"
+            )
+        if sum(counts) != data.get("count"):
+            problems.append(
+                f"metrics.histograms.{name}: cells sum to {sum(counts)} "
+                f"but count is {data.get('count')}"
+            )
+    return problems
+
+
+# ------------------------------------------------------------- prometheus
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample values: integers render bare, floats as repr."""
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(metrics: Metrics | NoopMetrics | dict[str, Any]) -> str:
+    """Flat Prometheus-style exposition text of a metrics registry.
+
+    Deterministic: families sorted by name, histogram buckets in boundary
+    order, one trailing newline.
+    """
+    payload = (
+        metrics if isinstance(metrics, dict) else metrics.as_dict()
+    )
+    lines: list[str] = []
+    for name, value in sorted(payload.get("counters", {}).items()):
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(value)}")
+    for name, value in sorted(payload.get("gauges", {}).items()):
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+    for name, data in sorted(payload.get("histograms", {}).items()):
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for boundary, count in zip(data["boundaries"], data["counts"]):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{le="{_format_value(boundary)}"}} {cumulative}'
+            )
+        cumulative += data["counts"][-1]
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{name}_sum {_format_value(data['sum'])}")
+        lines.append(f"{name}_count {data['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(
+    path: str | Path, metrics: Metrics | NoopMetrics | dict[str, Any]
+) -> Path:
+    """Write the Prometheus exposition text to ``path``."""
+    path = Path(path)
+    path.write_text(to_prometheus(metrics))
+    return path

@@ -52,6 +52,8 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 from repro.asp.reasoning import brave_consequences, cautious_consequences
 from repro.asp.stable import StableModelEngine
 from repro.asp.syntax import GroundProgram, GroundRule
+from repro.obs.metrics import Metrics
+from repro.obs.tracing import Tracer
 from repro.runtime.budget import (
     NO_BUDGET,
     Deadline,
@@ -103,13 +105,17 @@ class SolveTask:
     ``mode`` is ``"certain"`` (cautious: true in every stable model) or
     ``"possible"`` (brave: true in some stable model).  ``budget`` carries
     the per-task timeout and crash-retry policy; the default
-    :data:`~repro.runtime.budget.NO_BUDGET` changes nothing.
+    :data:`~repro.runtime.budget.NO_BUDGET` changes nothing.  ``trace``
+    asks the worker to record a ``solve.task`` span (with the solver's
+    search statistics as span counters) and ship it back as plain data on
+    the outcome — answer-neutral, off by default.
     """
 
     program: PackedProgram
     query_atom_ids: tuple[int, ...]
     mode: str = "certain"
     budget: SolveBudget = NO_BUDGET
+    trace: bool = False
 
 
 @dataclass
@@ -120,7 +126,10 @@ class SolveOutcome:
     program has no stable model), ``"timeout"`` (the task's or batch's
     deadline passed before the solve finished), or ``"error"`` (the
     worker died and retries were exhausted).  ``attempts`` counts
-    dispatches, so ``attempts - 1`` is the number of retries.
+    dispatches, so ``attempts - 1`` is the number of retries.  ``span``
+    is the worker's serialized ``solve.task`` span tree when the task
+    asked for one (``SolveTask.trace``) — the result channel doubles as
+    the trace channel, so process-pool solves stay observable.
     """
 
     decided: frozenset[int] | None  # None: no stable model (status "ok")
@@ -128,6 +137,7 @@ class SolveOutcome:
     solver_stats: dict[str, int] = field(default_factory=dict)
     status: str = "ok"
     attempts: int = 1
+    span: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -141,12 +151,24 @@ def solve_task(task: SolveTask, deadline_at: float | None = None) -> SolveOutcom
     parent; it is intersected with the task's own ``task_timeout``.  When
     the resulting deadline fires mid-search, the cooperative check raises
     and the outcome is reported as ``status="timeout"``.
+
+    With ``task.trace`` set, the solve runs under a process-local tracer
+    and the outcome carries the serialized ``solve.task`` span (program
+    size tags, solver statistics as counters).  The span's timestamps are
+    this process's monotonic epoch; the parent re-attaches the tree
+    tagged ``clock="remote"``.
     """
     started = time.perf_counter()
     deadline = Deadline.tightest(
         timeout=task.budget.task_timeout, at=deadline_at
     )
-    try:
+    tracer = Tracer() if task.trace else None
+    status = "ok"
+    engine: StableModelEngine | None = None
+    decided: frozenset[int] | None = None
+
+    def _solve() -> None:
+        nonlocal engine, decided
         engine = StableModelEngine(task.program, deadline=deadline)
         reason = (
             cautious_consequences if task.mode == "certain" else brave_consequences
@@ -154,16 +176,44 @@ def solve_task(task: SolveTask, deadline_at: float | None = None) -> SolveOutcom
         decided = reason(
             task.program, task.query_atom_ids, engine=engine, deadline=deadline
         )
+
+    try:
+        if tracer is None:
+            _solve()
+        else:
+            with tracer.span(
+                "solve.task",
+                mode=task.mode,
+                atoms=task.program.num_atoms,
+                rules=len(task.program.rules),
+                query_atoms=len(task.query_atom_ids),
+            ):
+                _solve()
     except SolveBudgetExceeded:
+        status = "timeout"
+    seconds = time.perf_counter() - started
+
+    span_payload: dict | None = None
+    if tracer is not None:
+        roots = tracer.finished
+        if roots:
+            root = roots[0]
+            root.tag("status", status)
+            if engine is not None:
+                for key, value in engine.statistics.items():
+                    root.count(key, value)
+            span_payload = root.to_dict()
+
+    if status != "ok":
         return SolveOutcome(
-            decided=None,
-            seconds=time.perf_counter() - started,
-            status="timeout",
+            decided=None, seconds=seconds, status=status, span=span_payload
         )
+    assert engine is not None
     return SolveOutcome(
         decided=decided,
-        seconds=time.perf_counter() - started,
-        solver_stats=dict(engine.solver.statistics),
+        seconds=seconds,
+        solver_stats=dict(engine.statistics),
+        span=span_payload,
     )
 
 
@@ -220,17 +270,27 @@ def _run_one(task: SolveTask, deadline: Deadline | None) -> SolveOutcome:
 
 
 class SequentialExecutor:
-    """Run every task in the calling process, one after another."""
+    """Run every task in the calling process, one after another.
+
+    ``metrics`` (an optional :class:`~repro.obs.Metrics`) receives the
+    dispatch event counters when set by the owning engine; it defaults to
+    None and costs nothing when absent.
+    """
 
     name = "sequential"
 
     def __init__(self) -> None:
         self.last_dispatch = "none"
+        self.metrics: Metrics | None = None
 
     def run(
         self, tasks: Sequence[SolveTask], deadline: Deadline | None = None
     ) -> list[SolveOutcome]:
         self.last_dispatch = "sequential"
+        if self.metrics is not None:
+            self.metrics.inc("executor_batches_total")
+            self.metrics.inc("executor_tasks_total", len(tasks))
+            self.metrics.inc("executor_inprocess_batches_total")
         return [_run_one(task, deadline) for task in tasks]
 
     def close(self) -> None:
@@ -276,12 +336,18 @@ class ParallelExecutor:
         self.chunk_size = chunk_size
         self.deadline_grace = deadline_grace
         self.last_dispatch = "none"
+        self.metrics: Metrics | None = None
         self._pool: _ProcessPool | None = None
         self._spawn_failures = 0  # lifetime count, capped
         # The worker entry point; fault-injecting subclasses override it.
         # Must be picklable (module-level function or functools.partial
         # of one) so spawn-based pools can ship it.
         self._worker: Callable = _solve_pickled
+
+    def _count(self, name: str, value: int = 1) -> None:
+        """Record one executor event when a metrics registry is attached."""
+        if self.metrics is not None:
+            self.metrics.inc(name, value)
 
     # ------------------------------------------------------------- pool
 
@@ -309,6 +375,7 @@ class ParallelExecutor:
             except (OSError, ValueError, RuntimeError):
                 attempts += 1
                 self._spawn_failures += 1
+                self._count("executor_pool_spawn_failures_total")
                 continue
             return self._pool
         return None
@@ -326,6 +393,7 @@ class ParallelExecutor:
         self, tasks: Sequence[SolveTask], deadline: Deadline | None
     ) -> list[SolveOutcome]:
         self.last_dispatch = "sequential"
+        self._count("executor_inprocess_batches_total")
         return [_run_one(task, deadline) for task in tasks]
 
     def _wait_bound(
@@ -358,6 +426,8 @@ class ParallelExecutor:
         if not tasks:
             self.last_dispatch = "none"
             return []
+        self._count("executor_batches_total")
+        self._count("executor_tasks_total", len(tasks))
         if len(tasks) < self.min_batch or self.jobs <= 1:
             return self._run_sequential(tasks, deadline)
         try:
@@ -369,6 +439,7 @@ class ParallelExecutor:
             # Serialize in the parent so this fails *here*, synchronously.
             # Handing a non-picklable task to the pool would fail in its
             # queue-feeder thread instead, wedging the pool for good.
+            self._count("executor_pickle_fallback_total")
             return self._run_sequential(tasks, deadline)
 
         results: list[SolveOutcome | None] = [None] * len(tasks)
@@ -383,6 +454,7 @@ class ParallelExecutor:
             if deadline is not None and deadline.expired():
                 for i in remaining:
                     results[i] = _timeout_outcome(attempts[i] + 1)
+                    self._count("executor_deadline_timeouts_total")
                 remaining = []
                 break
             if wave:
@@ -441,9 +513,11 @@ class ParallelExecutor:
                         # retry: only this task re-runs, if its budget
                         # still allows it.
                         broken = True
+                        self._count("executor_worker_crashes_total")
                         if attempts[i] < tasks[i].budget.max_retries:
                             attempts[i] += 1
                             retry.append(i)
+                            self._count("executor_task_retries_total")
                         else:
                             results[i] = SolveOutcome(
                                 decided=None,
@@ -453,10 +527,12 @@ class ParallelExecutor:
             if wedged:
                 # The wait bound has passed: no budget is left for the
                 # unfinished tasks, including any queued for crash-retry.
+                self._count("executor_wedged_batches_total")
                 for future, i in futures.items():
                     if results[i] is None:
                         future.cancel()
                         results[i] = _timeout_outcome(attempts[i] + 1)
+                        self._count("executor_deadline_timeouts_total")
                 self._abandon_pool()  # its workers are stuck; start fresh
                 remaining = []
                 break

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.chase.gav import enumerate_groundings, gav_chase
 from repro.dependencies.egds import EGD
+from repro.obs.recorder import NOOP_RECORDER, Recorder
 from repro.dependencies.mapping import SchemaMapping
 from repro.dependencies.tgds import TGD
 from repro.relational.instance import Fact, Instance
@@ -214,26 +215,37 @@ def build_exchange_data(
     mapping: SchemaMapping,
     source_instance: Instance,
     timings: dict[str, float] | None = None,
+    obs: Recorder | None = None,
 ) -> ExchangeData:
     """Chase, ground, and detect violations for a ``gav+(gav, egd)`` mapping.
 
     When ``timings`` is a dict, per-stage wall-clock seconds are recorded
     into it under ``chase`` / ``groundings`` / ``violations`` / ``index``
-    (used by the micro-benchmarks; answer-neutral).
+    (used by the micro-benchmarks; answer-neutral).  ``obs`` (a
+    :class:`~repro.obs.Recorder`) additionally records one child span per
+    stage plus the deterministic work counters (chase rounds, chased
+    facts, groundings, violations) — equally answer-neutral.
     """
     if not mapping.is_gav_gav_egd():
         raise ValueError(
             "exchange data requires a gav+(gav, egd) mapping; "
             "run reduce_mapping first"
         )
+    if obs is None:
+        obs = NOOP_RECORDER
+    tracer, metrics = obs.tracer, obs.metrics
     clock = time.perf_counter
     tgds = list(mapping.all_tgds())
+    chase_stats: dict[str, int] | None = {} if metrics.enabled else None
     started = clock()
-    chased = gav_chase(source_instance, tgds)
+    with tracer.span("exchange.chase"):
+        chased = gav_chase(source_instance, tgds, stats=chase_stats)
     chased_at = clock()
-    groundings = list(enumerate_groundings(tgds, chased))
+    with tracer.span("exchange.groundings"):
+        groundings = list(enumerate_groundings(tgds, chased))
     grounded_at = clock()
-    violations = find_violations(mapping, chased)
+    with tracer.span("exchange.violations"):
+        violations = find_violations(mapping, chased)
     violations_at = clock()
     data = ExchangeData(
         mapping=mapping,
@@ -242,13 +254,25 @@ def build_exchange_data(
         groundings=groundings,
         violations=violations,
     )
-    _build_fact_indexes(data)
+    with tracer.span("exchange.index"):
+        _build_fact_indexes(data)
     if timings is not None:
         indexed_at = clock()
         timings["chase"] = chased_at - started
         timings["groundings"] = grounded_at - chased_at
         timings["violations"] = violations_at - grounded_at
         timings["index"] = indexed_at - violations_at
+    if chase_stats is not None:
+        metrics.counter("exchange_chase_rounds_total").inc(
+            chase_stats.get("rounds", 0)
+        )
+        metrics.counter("exchange_chase_derived_facts_total").inc(
+            chase_stats.get("derived_facts", 0)
+        )
+        metrics.counter("exchange_source_facts_total").inc(len(source_instance))
+        metrics.counter("exchange_chased_facts_total").inc(len(chased))
+        metrics.counter("exchange_groundings_total").inc(len(groundings))
+        metrics.counter("exchange_violations_total").inc(len(violations))
     return data
 
 

@@ -19,10 +19,11 @@ in ``last_stats.unknown_candidates``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.asp.reasoning import brave_consequences, cautious_consequences
 from repro.dependencies.mapping import SchemaMapping
+from repro.obs.recorder import NOOP_RECORDER, Recorder
 from repro.reduction.reduce import ReducedMapping, reduce_mapping
 from repro.relational.instance import Instance
 from repro.relational.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
@@ -43,6 +44,12 @@ class MonolithicStats:
     degraded: bool = False
     unknown_candidates: set[tuple] = field(default_factory=set)
 
+    def copy(self) -> "MonolithicStats":
+        """An independent deep copy (no shared mutable containers)."""
+        return replace(
+            self, unknown_candidates=set(self.unknown_candidates)
+        )
+
 
 class MonolithicEngine:
     """XR-Certain query answering with a single program per query.
@@ -59,6 +66,7 @@ class MonolithicEngine:
         instance: Instance,
         encoding: str = "repair",
         budget: SolveBudget | None = None,
+        obs: Recorder | None = None,
     ):
         if isinstance(mapping, ReducedMapping):
             self.reduced = mapping
@@ -67,7 +75,23 @@ class MonolithicEngine:
         self.instance = instance
         self.encoding = encoding
         self.budget = budget if budget is not None else NO_BUDGET
-        self.last_stats = MonolithicStats()
+        self.obs = obs if obs is not None else NOOP_RECORDER
+        self._last_stats = MonolithicStats()
+
+    @property
+    def last_stats(self) -> MonolithicStats:
+        """Diagnostics of the most recent query, as an independent copy.
+
+        Published in a single assignment per query (never mutated in place
+        after publication) and handed out as fresh copies, so a caller
+        holding one can never see it change under a later query — and
+        can't corrupt the engine's snapshot by mutating it either.
+        """
+        return self._last_stats.copy()
+
+    @last_stats.setter
+    def last_stats(self, stats: MonolithicStats) -> None:
+        self._last_stats = stats.copy()
 
     def answer(
         self,
@@ -95,55 +119,79 @@ class MonolithicEngine:
         mode: str,
         allow_partial: bool = False,
     ) -> set[tuple]:
-        rewritten = self.reduced.rewrite(query)
-        data = build_exchange_data(self.reduced.gav, self.instance)
-        query_groundings = ground_query(rewritten, data.chased)
-        xr_program = build_xr_program(
-            data, query_groundings=query_groundings, encoding=self.encoding
-        )
+        tracer, metrics = self.obs.tracer, self.obs.metrics
+        with tracer.span("monolithic", mode=mode):
+            with tracer.span("monolithic.build"):
+                rewritten = self.reduced.rewrite(query)
+                data = build_exchange_data(
+                    self.reduced.gav, self.instance, obs=self.obs
+                )
+                query_groundings = ground_query(rewritten, data.chased)
+                xr_program = build_xr_program(
+                    data,
+                    query_groundings=query_groundings,
+                    encoding=self.encoding,
+                )
 
-        self.last_stats = MonolithicStats(
-            atoms=xr_program.program.num_atoms,
-            rules=len(xr_program.program),
-            candidates=len(xr_program.query_atoms),
-        )
-
-        if not xr_program.query_atoms:
-            return set()
-        reason = cautious_consequences if mode == "certain" else brave_consequences
-        deadline = self.budget.single_solve_deadline()
-        try:
-            decided = reason(
-                xr_program.program,
-                xr_program.query_atoms.values(),
-                deadline=deadline,
+            stats = MonolithicStats(
+                atoms=xr_program.program.num_atoms,
+                rules=len(xr_program.program),
+                candidates=len(xr_program.query_atoms),
             )
-        except SolveBudgetExceeded:
-            if not allow_partial:
-                raise
-            # The one big solve was cut off: every solver-decided
-            # candidate is unknown.  Certain mode keeps only the sound
-            # floor (trivially-certain candidates); possible mode keeps
-            # the sound ceiling (all candidates).
-            unknown = {
+            if metrics.enabled:
+                metrics.inc("monolithic_programs_total")
+                metrics.inc("monolithic_atoms_total", stats.atoms)
+                metrics.inc("monolithic_rules_total", stats.rules)
+                metrics.inc("monolithic_candidates_total", stats.candidates)
+
+            if not xr_program.query_atoms:
+                self._last_stats = stats.copy()
+                return set()
+            reason = (
+                cautious_consequences
+                if mode == "certain"
+                else brave_consequences
+            )
+            deadline = self.budget.single_solve_deadline()
+            try:
+                with tracer.span("monolithic.solve"):
+                    decided = reason(
+                        xr_program.program,
+                        xr_program.query_atoms.values(),
+                        deadline=deadline,
+                    )
+            except SolveBudgetExceeded:
+                if not allow_partial:
+                    self._last_stats = stats.copy()
+                    raise
+                # The one big solve was cut off: every solver-decided
+                # candidate is unknown.  Certain mode keeps only the sound
+                # floor (trivially-certain candidates); possible mode
+                # keeps the sound ceiling (all candidates).
+                unknown = {
+                    fact
+                    for fact in xr_program.query_atoms
+                    if fact not in xr_program.trivially_certain
+                }
+                stats.degraded = True
+                stats.unknown_candidates = answers_from_facts(unknown)
+                if metrics.enabled:
+                    metrics.inc("budget_degraded_queries_total")
+                accepted = set(xr_program.trivially_certain)
+                if mode == "possible":
+                    accepted |= unknown
+                self._last_stats = stats.copy()
+                return answers_from_facts(accepted)
+            if decided is None:
+                # No stable model means no XR-solution; cannot happen
+                # because the empty sub-instance always has a solution,
+                # but stay defensive.
+                raise RuntimeError("the XR program has no stable model")
+            accepted = {
                 fact
-                for fact in xr_program.query_atoms
-                if fact not in xr_program.trivially_certain
+                for fact, atom_id in xr_program.query_atoms.items()
+                if atom_id in decided
             }
-            self.last_stats.degraded = True
-            self.last_stats.unknown_candidates = answers_from_facts(unknown)
-            accepted = set(xr_program.trivially_certain)
-            if mode == "possible":
-                accepted |= unknown
+            accepted |= xr_program.trivially_certain
+            self._last_stats = stats.copy()
             return answers_from_facts(accepted)
-        if decided is None:
-            # No stable model means no XR-solution; cannot happen because the
-            # empty sub-instance always has a solution, but stay defensive.
-            raise RuntimeError("the XR program has no stable model")
-        accepted = {
-            fact
-            for fact, atom_id in xr_program.query_atoms.items()
-            if atom_id in decided
-        }
-        accepted |= xr_program.trivially_certain
-        return answers_from_facts(accepted)

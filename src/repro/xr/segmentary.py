@@ -27,10 +27,12 @@ sequential execution, cached and uncached, return identical answers.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.asp.syntax import AtomTable, GroundProgram
 from repro.dependencies.mapping import SchemaMapping
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS
+from repro.obs.recorder import NOOP_RECORDER, Recorder
 from repro.reduction.reduce import ReducedMapping, reduce_mapping
 from repro.relational.instance import Fact, Instance
 from repro.relational.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
@@ -91,6 +93,20 @@ class QueryPhaseStats:
     retries: int = 0
     degraded: bool = False
     unknown_candidates: set[tuple] = field(default_factory=set)
+
+    def copy(self) -> "QueryPhaseStats":
+        """An independent deep copy (no shared mutable containers).
+
+        ``engine.last_query_stats`` hands out copies built with this, so
+        a caller mutating the object it got back — or holding it across a
+        later query — can never alias the engine's own snapshot.
+        """
+        return replace(
+            self,
+            program_seconds=list(self.program_seconds),
+            solver_stats=dict(self.solver_stats),
+            unknown_candidates=set(self.unknown_candidates),
+        )
 
 
 @dataclass
@@ -174,6 +190,7 @@ class SegmentaryEngine:
         cache: bool | SignatureProgramCache = True,
         parallel_threshold: int = 2,
         budget: SolveBudget | None = None,
+        obs: Recorder | None = None,
     ):
         if isinstance(mapping, ReducedMapping):
             self.reduced = mapping
@@ -183,11 +200,16 @@ class SegmentaryEngine:
         self.encoding = encoding
         self.jobs = jobs
         self.budget = budget if budget is not None else NO_BUDGET
+        self.obs = obs if obs is not None else NOOP_RECORDER
         self._owns_executor = executor is None
         if executor is not None:
             self.executor = executor
         else:
             self.executor = make_executor(jobs, min_batch=parallel_threshold)
+        if self._owns_executor and self.obs.metrics.enabled:
+            # Only an executor this engine created gets its metrics hook;
+            # a shared pool passed in by the caller is left untouched.
+            self.executor.metrics = self.obs.metrics
         if cache is True:
             self.cache: SignatureProgramCache | None = SignatureProgramCache()
         elif cache is False or cache is None:
@@ -197,7 +219,20 @@ class SegmentaryEngine:
         self.data: ExchangeData | None = None
         self.analysis: EnvelopeAnalysis | None = None
         self.exchange_stats = ExchangePhaseStats()
-        self.last_query_stats = QueryPhaseStats()
+        self._last_query_stats = QueryPhaseStats()
+
+    @property
+    def last_query_stats(self) -> QueryPhaseStats:
+        """Diagnostics of the most recent query, as an independent copy.
+
+        Every read returns a fresh deep copy, so two readers can never
+        corrupt each other (or the engine) by mutating what they got.
+        """
+        return self._last_query_stats.copy()
+
+    @last_query_stats.setter
+    def last_query_stats(self, stats: QueryPhaseStats) -> None:
+        self._last_query_stats = stats.copy()
 
     def close(self) -> None:
         """Release executor resources (worker processes, if any).
@@ -220,9 +255,14 @@ class SegmentaryEngine:
         """Run the query-independent exchange phase; idempotent."""
         if self.analysis is not None:
             return self.exchange_stats
+        tracer, metrics = self.obs.tracer, self.obs.metrics
         started = time.perf_counter()
-        self.data = build_exchange_data(self.reduced.gav, self.instance)
-        self.analysis = analyze_envelopes(self.data)
+        with tracer.span("exchange"):
+            self.data = build_exchange_data(
+                self.reduced.gav, self.instance, obs=self.obs
+            )
+            with tracer.span("exchange.envelope"):
+                self.analysis = analyze_envelopes(self.data)
         self.exchange_stats = ExchangePhaseStats(
             seconds=time.perf_counter() - started,
             source_facts=len(self.instance),
@@ -233,6 +273,18 @@ class SegmentaryEngine:
             suspect_source_facts=len(self.analysis.suspect_source),
             safe_source_facts=len(self.analysis.safe_source),
         )
+        if metrics.enabled:
+            metrics.inc(
+                "exchange_clusters_total", self.exchange_stats.clusters
+            )
+            metrics.inc(
+                "exchange_suspect_source_facts_total",
+                self.exchange_stats.suspect_source_facts,
+            )
+            metrics.inc(
+                "exchange_safe_source_facts_total",
+                self.exchange_stats.safe_source_facts,
+            )
         return self.exchange_stats
 
     # --------------------------------------------------------- query phase
@@ -294,130 +346,190 @@ class SegmentaryEngine:
         stats = QueryPhaseStats(executor=self.executor.name)
         clock = self.budget.started()  # None unless a deadline is set
         unknown: set[Fact] = set()
+        tracer, metrics = self.obs.tracer, self.obs.metrics
 
-        rewritten = self.reduced.rewrite(query)
-        groundings = ground_query(rewritten, data.chased)
+        with tracer.span("query", mode=mode) as query_span:
+            with tracer.span("query.ground"):
+                rewritten = self.reduced.rewrite(query)
+                groundings = ground_query(rewritten, data.chased)
 
-        # Group support sets per candidate fact.
-        supports_by_candidate: dict[Fact, list[tuple[Fact, ...]]] = {}
-        for candidate, support in groundings:
-            supports_by_candidate.setdefault(candidate, []).append(support)
-        stats.candidates = len(supports_by_candidate)
-
-        accepted: set[Fact] = set()
-        by_signature: dict[frozenset[int], list[Fact]] = {}
-        for candidate, supports in supports_by_candidate.items():
-            if any(
-                all(analysis.is_safe_fact(fact) for fact in support)
-                for support in supports
-            ):
-                accepted.add(candidate)  # an all-safe support set: certain
-                continue
-            signature = analysis.signature(
-                {fact for support in supports for fact in support}
-            )
-            if not signature:
-                raise RuntimeError(
-                    f"unsafe candidate {candidate!r} with empty signature: "
-                    "exchange-phase invariant violated"
-                )
-            by_signature.setdefault(signature, []).append(candidate)
-        stats.safe_candidates = len(accepted)
-        stats.signatures = len(by_signature)
-
-        safe_facts = set(analysis.safe_chased)
-
-        # Build every still-undecided signature program first, then solve
-        # the whole batch through the executor (the programs are pairwise
-        # independent, so any execution order or interleaving is valid).
-        pending: list[_SignatureGroup] = []
-        tasks: list[SolveTask] = []
-        build_started = time.perf_counter()
-        for signature, candidates in by_signature.items():
-            if clock is not None and clock.expired():
-                # Deadline passed during program construction: everything
-                # still unresolved is unknown — never silently dropped,
-                # never fabricated.
-                if not allow_partial:
-                    raise SolveBudgetExceeded(
-                        "query deadline exceeded while building signature "
-                        "programs"
+                # Group support sets per candidate fact.
+                supports_by_candidate: dict[Fact, list[tuple[Fact, ...]]] = {}
+                for candidate, support in groundings:
+                    supports_by_candidate.setdefault(candidate, []).append(
+                        support
                     )
-                stats.timeouts += 1
-                unknown.update(candidates)
-                continue
-            group = self._resolve_group(
-                signature, candidates, supports_by_candidate,
-                safe_facts, mode, stats,
-            )
-            accepted |= group.accepted_so_far
-            # Trivially-certain candidates are folded in *before* any
-            # query_atoms guard: even if `_emit_query_rules`'s invariant
-            # (trivially_certain ⊆ query_atoms) ever loosens, they can
-            # never be dropped.
-            accepted |= group.xr_program.trivially_certain
-            if group.solve_atoms:
-                pending.append(group)
-                tasks.append(
-                    SolveTask(
-                        program=PackedProgram.pack(group.xr_program.program),
-                        query_atom_ids=tuple(sorted(group.solve_atoms.values())),
-                        mode=mode,
-                        budget=self.budget,
-                    )
-                )
-            else:
-                self._finalize_group(group, set(), mode)
-        stats.build_seconds = time.perf_counter() - build_started
+                stats.candidates = len(supports_by_candidate)
 
-        if tasks:
-            outcomes = self.executor.run(tasks, deadline=clock)
-            stats.executor = self.executor.last_dispatch
-            for group, outcome in zip(pending, outcomes):
-                stats.retries += max(0, outcome.attempts - 1)
-                if not outcome.ok:
-                    # This group's solve was cut off (deadline, per-task
-                    # timeout, or a crashed worker out of retries): its
-                    # candidates are *unknown*.  Nothing is cached — an
-                    # unknown is a budget artifact, not a verdict.
-                    if not allow_partial:
-                        raise SolveBudgetExceeded(
-                            f"signature solve {outcome.status}: "
-                            f"{len(group.solve_atoms)} candidate(s) undecided"
+                accepted: set[Fact] = set()
+                by_signature: dict[frozenset[int], list[Fact]] = {}
+                for candidate, supports in supports_by_candidate.items():
+                    if any(
+                        all(analysis.is_safe_fact(fact) for fact in support)
+                        for support in supports
+                    ):
+                        # An all-safe support set: certain.
+                        accepted.add(candidate)
+                        continue
+                    signature = analysis.signature(
+                        {fact for support in supports for fact in support}
+                    )
+                    if not signature:
+                        raise RuntimeError(
+                            f"unsafe candidate {candidate!r} with empty "
+                            "signature: exchange-phase invariant violated"
                         )
-                    stats.timeouts += 1
-                    unknown.update(group.solve_atoms)
-                    continue
-                if outcome.decided is None:
-                    raise RuntimeError("a signature program has no stable model")
-                stats.programs_solved += 1
-                stats.program_seconds.append(outcome.seconds)
-                stats.solve_seconds += outcome.seconds
-                for key, value in outcome.solver_stats.items():
-                    stats.solver_stats[key] = (
-                        stats.solver_stats.get(key, 0) + value
-                    )
-                newly = {
-                    fact
-                    for fact, atom_id in group.solve_atoms.items()
-                    if atom_id in outcome.decided
-                }
-                accepted |= newly
-                self._finalize_group(group, newly, mode)
+                    by_signature.setdefault(signature, []).append(candidate)
+                stats.safe_candidates = len(accepted)
+                stats.signatures = len(by_signature)
 
-        if unknown:
-            stats.degraded = True
-            stats.unknown_candidates = answers_from_facts(unknown)
-            if mode == "possible":
-                # Conservative over-approximation: a candidate we could
-                # not decide might hold in some XR-solution, so possible
-                # answers must include it (exact-possible ⊆ degraded).
-                accepted |= unknown
+            safe_facts = set(analysis.safe_chased)
+
+            # Build every still-undecided signature program first, then
+            # solve the whole batch through the executor (the programs are
+            # pairwise independent, so any execution order or interleaving
+            # is valid).
+            pending: list[_SignatureGroup] = []
+            tasks: list[SolveTask] = []
+            build_started = time.perf_counter()
+            with tracer.span("query.build"):
+                for signature, candidates in by_signature.items():
+                    if clock is not None and clock.expired():
+                        # Deadline passed during program construction:
+                        # everything still unresolved is unknown — never
+                        # silently dropped, never fabricated.
+                        if not allow_partial:
+                            raise SolveBudgetExceeded(
+                                "query deadline exceeded while building "
+                                "signature programs"
+                            )
+                        stats.timeouts += 1
+                        unknown.update(candidates)
+                        continue
+                    group = self._resolve_group(
+                        signature, candidates, supports_by_candidate,
+                        safe_facts, mode, stats,
+                    )
+                    accepted |= group.accepted_so_far
+                    # Trivially-certain candidates are folded in *before*
+                    # any query_atoms guard: even if `_emit_query_rules`'s
+                    # invariant (trivially_certain ⊆ query_atoms) ever
+                    # loosens, they can never be dropped.
+                    accepted |= group.xr_program.trivially_certain
+                    if group.solve_atoms:
+                        pending.append(group)
+                        tasks.append(
+                            SolveTask(
+                                program=PackedProgram.pack(
+                                    group.xr_program.program
+                                ),
+                                query_atom_ids=tuple(
+                                    sorted(group.solve_atoms.values())
+                                ),
+                                mode=mode,
+                                budget=self.budget,
+                                trace=tracer.enabled,
+                            )
+                        )
+                    else:
+                        self._finalize_group(group, set(), mode)
+            stats.build_seconds = time.perf_counter() - build_started
+
+            if tasks:
+                with tracer.span("query.solve"):
+                    outcomes = self.executor.run(tasks, deadline=clock)
+                    stats.executor = self.executor.last_dispatch
+                    for group, outcome in zip(pending, outcomes):
+                        stats.retries += max(0, outcome.attempts - 1)
+                        if outcome.span is not None:
+                            # Worker span trees ride the result channel
+                            # home; reattached here under query.solve with
+                            # a remote-clock marker.
+                            tracer.attach(outcome.span)
+                        if not outcome.ok:
+                            # This group's solve was cut off (deadline,
+                            # per-task timeout, or a crashed worker out of
+                            # retries): its candidates are *unknown*.
+                            # Nothing is cached — an unknown is a budget
+                            # artifact, not a verdict.
+                            if not allow_partial:
+                                raise SolveBudgetExceeded(
+                                    f"signature solve {outcome.status}: "
+                                    f"{len(group.solve_atoms)} candidate(s) "
+                                    "undecided"
+                                )
+                            stats.timeouts += 1
+                            unknown.update(group.solve_atoms)
+                            continue
+                        if outcome.decided is None:
+                            raise RuntimeError(
+                                "a signature program has no stable model"
+                            )
+                        stats.programs_solved += 1
+                        stats.program_seconds.append(outcome.seconds)
+                        stats.solve_seconds += outcome.seconds
+                        if metrics.enabled:
+                            metrics.histogram(
+                                "solve_seconds", DEFAULT_TIME_BUCKETS
+                            ).observe(outcome.seconds)
+                        for key, value in outcome.solver_stats.items():
+                            stats.solver_stats[key] = (
+                                stats.solver_stats.get(key, 0) + value
+                            )
+                        newly = {
+                            fact
+                            for fact, atom_id in group.solve_atoms.items()
+                            if atom_id in outcome.decided
+                        }
+                        accepted |= newly
+                        self._finalize_group(group, newly, mode)
+
+            if unknown:
+                stats.degraded = True
+                stats.unknown_candidates = answers_from_facts(unknown)
+                if mode == "possible":
+                    # Conservative over-approximation: a candidate we
+                    # could not decide might hold in some XR-solution, so
+                    # possible answers must include it (exact-possible ⊆
+                    # degraded).
+                    accepted |= unknown
+            query_span.count("candidates", stats.candidates)
+            query_span.count("signatures", stats.signatures)
+            query_span.count("programs_solved", stats.programs_solved)
         stats.seconds = time.perf_counter() - started
-        # Single-assignment publication: the shared attribute is never
-        # mutated in place while a query phase is running.
-        self.last_query_stats = stats
+        if metrics.enabled:
+            self._record_query_metrics(metrics, stats)
+        # Single-assignment publication: the engine keeps its own deep
+        # copy, and the caller gets the local object — neither can mutate
+        # the other's view afterwards.
+        self._last_query_stats = stats.copy()
         return answers_from_facts(accepted), stats
+
+    @staticmethod
+    def _record_query_metrics(metrics, stats: QueryPhaseStats) -> None:
+        """Fold one query phase's deterministic counters into ``metrics``."""
+        metrics.inc("queries_total")
+        metrics.inc("query_candidates_total", stats.candidates)
+        metrics.inc("query_safe_candidates_total", stats.safe_candidates)
+        metrics.inc("query_signatures_total", stats.signatures)
+        metrics.inc("query_programs_solved_total", stats.programs_solved)
+        metrics.inc("query_ground_rules_total", stats.total_rules)
+        metrics.inc("cache_program_hits_total", stats.cache_hits)
+        metrics.inc("cache_program_misses_total", stats.cache_misses)
+        metrics.inc("cache_memo_hits_total", stats.memo_hits)
+        metrics.inc("cache_memo_misses_total", stats.memo_misses)
+        metrics.inc("query_timeouts_total", stats.timeouts)
+        metrics.inc("query_retries_total", stats.retries)
+        metrics.inc(
+            "query_unknown_candidates_total", len(stats.unknown_candidates)
+        )
+        if stats.degraded:
+            metrics.inc("budget_degraded_queries_total")
+        metrics.gauge("query_largest_program_atoms").max(
+            stats.largest_program_atoms
+        )
+        for key, value in stats.solver_stats.items():
+            metrics.inc(f"solver_{key}_total", value)
 
     # Backwards-compatible internal entry point.
     def _answer(

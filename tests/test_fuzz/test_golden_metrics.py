@@ -1,0 +1,64 @@
+"""Golden-metrics replay: the deterministic work counters of the pinned
+corpus scenarios must be reproduced bit-for-bit.
+
+``tests/corpus/golden_metrics.json`` pins the *amount of work* the
+segmentary pipeline does — chase rounds, groundings, clusters, ground
+rules, programs solved, cache traffic — complementing the golden-answer
+file, which only pins *what* is answered.  A rewrite that keeps answers
+right but silently changes the work profile (extra chase rounds, a cache
+that stopped hitting) fails here.  Re-record deliberately with
+``repro.fuzz.corpus.record_golden_metrics`` only when the expected work
+legitimately changes.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import (
+    GOLDEN_METRIC_PREFIXES,
+    GOLDEN_METRICS_SCENARIOS,
+    REPRO_SUFFIX,
+    load_golden_metrics,
+    load_repro,
+    scenario_metrics,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+
+
+def test_golden_file_covers_the_pinned_scenarios():
+    goldens = load_golden_metrics(CORPUS_DIR)
+    assert set(goldens) == set(GOLDEN_METRICS_SCENARIOS)
+    for name, counters in goldens.items():
+        assert counters, f"{name}: empty counter record"
+        for key, value in counters.items():
+            assert key.startswith(GOLDEN_METRIC_PREFIXES), (name, key)
+            assert isinstance(value, int) and value >= 0, (name, key, value)
+
+
+def test_pinned_scenarios_exercise_distinct_paths():
+    goldens = load_golden_metrics(CORPUS_DIR)
+    solved = [
+        name for name, counters in goldens.items()
+        if counters["query_programs_solved_total"] > 0
+    ]
+    violated = [
+        name for name, counters in goldens.items()
+        if counters["exchange_violations_total"] > 0
+    ]
+    assert solved and violated, (
+        "the golden pair must cover both a solver-deciding scenario and "
+        "a violation-bearing one"
+    )
+
+
+@pytest.mark.parametrize("name", GOLDEN_METRICS_SCENARIOS)
+def test_scenario_metrics_match_goldens_bit_identically(name):
+    scenario = load_repro(CORPUS_DIR / f"{name}{REPRO_SUFFIX}")
+    first = scenario_metrics(scenario)
+    second = scenario_metrics(scenario)
+    assert first == second, f"{name}: two runs disagree with each other"
+    assert first == load_golden_metrics(CORPUS_DIR)[name], (
+        f"{name}: engine work profile diverged from the recorded goldens"
+    )

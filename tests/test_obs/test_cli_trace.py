@@ -1,0 +1,92 @@
+"""CLI observability: ``repro query --trace out.json --metrics out.prom``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import validate_trace_document
+
+MAPPING = """
+SOURCE Employee/2. TARGET Office/2.
+Employee(name, office) -> Office(name, office).
+Office(name, o1), Office(name, o2) -> o1 = o2.
+"""
+
+DATA = """
+Employee('ada', 'E14').
+Employee('ada', 'W02').
+Employee('bob', 'E15').
+"""
+
+QUERY = "q(n) :- Office(n, o)."
+
+
+@pytest.fixture
+def files(tmp_path):
+    mapping_path = tmp_path / "mapping.txt"
+    mapping_path.write_text(MAPPING)
+    data_path = tmp_path / "data.txt"
+    data_path.write_text(DATA)
+    return str(mapping_path), str(data_path)
+
+
+def test_query_alias_answers_like_answer(files, capsys):
+    mapping_path, data_path = files
+    assert main(["query", "-m", mapping_path, "-d", data_path, "-q", QUERY]) == 0
+    output = capsys.readouterr().out
+    assert "q('bob')." in output
+
+
+def test_trace_and_metrics_artifacts(files, tmp_path, capsys):
+    mapping_path, data_path = files
+    trace_path = tmp_path / "out.json"
+    metrics_path = tmp_path / "out.prom"
+    code = main(
+        ["query", "-m", mapping_path, "-d", data_path, "-q", QUERY,
+         "--trace", str(trace_path), "--metrics", str(metrics_path)]
+    )
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "q('bob')." in output
+    assert str(trace_path) in output and str(metrics_path) in output
+
+    document = json.loads(trace_path.read_text())
+    assert validate_trace_document(document) == []
+    names = [span["name"] for span in document["spans"]]
+    assert names == ["exchange", "query"]
+    assert document["metrics"]["counters"]["queries_total"] == 1
+
+    text = metrics_path.read_text()
+    assert "# TYPE queries_total counter" in text
+    assert "queries_total 1" in text
+    assert "exchange_violations_total 1" in text
+
+
+def test_trace_does_not_change_answers(files, tmp_path, capsys):
+    mapping_path, data_path = files
+    base = ["query", "-m", mapping_path, "-d", data_path, "-q", QUERY]
+    assert main(base) == 0
+    plain = [
+        line for line in capsys.readouterr().out.splitlines()
+        if not line.startswith("%")
+    ]
+    assert main(base + ["--trace", str(tmp_path / "t.json")]) == 0
+    traced = [
+        line for line in capsys.readouterr().out.splitlines()
+        if not line.startswith("%")
+    ]
+    assert traced == plain
+
+
+def test_monolithic_trace(files, tmp_path):
+    mapping_path, data_path = files
+    trace_path = tmp_path / "mono.json"
+    code = main(
+        ["answer", "-m", mapping_path, "-d", data_path, "-q", QUERY,
+         "--method", "monolithic", "--trace", str(trace_path)]
+    )
+    assert code == 0
+    document = json.loads(trace_path.read_text())
+    assert validate_trace_document(document) == []
+    assert [span["name"] for span in document["spans"]] == ["monolithic"]

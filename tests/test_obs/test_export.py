@@ -1,0 +1,125 @@
+"""Exporter tests: trace-document schema, JSON round-trips, Prometheus text."""
+
+import json
+
+from repro.obs.export import (
+    TRACE_KIND,
+    TRACE_SCHEMA_VERSION,
+    spans_from_document,
+    to_prometheus,
+    trace_document,
+    validate_trace_document,
+    write_prometheus,
+    write_trace_json,
+)
+from repro.obs.recorder import NOOP_RECORDER, Recorder
+
+
+def _sample_recorder() -> Recorder:
+    obs = Recorder.create()
+    with obs.tracer.span("exchange"):
+        with obs.tracer.span("exchange.chase"):
+            pass
+    with obs.tracer.span("query", mode="certain") as span:
+        span.count("candidates", 2)
+    obs.metrics.inc("queries_total")
+    obs.metrics.gauge("query_largest_program_atoms").max(13)
+    obs.metrics.histogram("solve_seconds", (0.1, 1.0)).observe(0.05)
+    return obs
+
+
+class TestTraceDocument:
+    def test_document_shape_and_validation(self):
+        document = trace_document(_sample_recorder())
+        assert document["kind"] == TRACE_KIND
+        assert document["version"] == TRACE_SCHEMA_VERSION
+        assert [span["name"] for span in document["spans"]] == [
+            "exchange", "query",
+        ]
+        assert validate_trace_document(document) == []
+
+    def test_json_file_roundtrip(self, tmp_path):
+        obs = _sample_recorder()
+        path = write_trace_json(tmp_path / "trace.json", obs)
+        loaded = json.loads(path.read_text())
+        assert loaded == trace_document(obs)
+        assert validate_trace_document(loaded) == []
+        rebuilt = spans_from_document(loaded)
+        assert rebuilt == obs.tracer.finished
+
+    def test_empty_recorder_is_valid(self):
+        assert validate_trace_document(trace_document(NOOP_RECORDER)) == []
+
+    def test_validation_catches_problems(self):
+        assert validate_trace_document("not a dict") == [
+            "document is not an object"
+        ]
+        document = trace_document(_sample_recorder())
+        document["kind"] = "something-else"
+        assert any("kind" in p for p in validate_trace_document(document))
+
+        document = trace_document(_sample_recorder())
+        document["spans"][0]["counters"] = {"work": "three"}
+        assert any("not an int" in p for p in validate_trace_document(document))
+
+        document = trace_document(_sample_recorder())
+        document["metrics"]["histograms"]["solve_seconds"]["counts"] = [1]
+        assert any(
+            "boundaries" in p or "cells" in p
+            for p in validate_trace_document(document)
+        )
+
+        document = trace_document(_sample_recorder())
+        document["metrics"]["counters"]["queries_total"] = -2
+        assert any("invalid" in p for p in validate_trace_document(document))
+
+    def test_invariant_violations_fail_validation(self):
+        document = {
+            "kind": TRACE_KIND,
+            "version": TRACE_SCHEMA_VERSION,
+            "spans": [{"name": "bad", "start": 2.0, "end": 1.0,
+                       "tags": {}, "counters": {}, "children": []}],
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+        assert any("before start" in p for p in validate_trace_document(document))
+
+
+class TestPrometheus:
+    def test_exposition_text_exact(self):
+        obs = Recorder.create()
+        obs.metrics.inc("b_total", 2)
+        obs.metrics.inc("a_total")
+        obs.metrics.gauge("depth").set(1.5)
+        obs.metrics.histogram("seconds", (0.5, 1.0)).observe(0.25)
+        obs.metrics.histogram("seconds", (0.5, 1.0)).observe(7.0)
+        assert to_prometheus(obs.metrics) == (
+            "# TYPE a_total counter\n"
+            "a_total 1\n"
+            "# TYPE b_total counter\n"
+            "b_total 2\n"
+            "# TYPE depth gauge\n"
+            "depth 1.5\n"
+            "# TYPE seconds histogram\n"
+            'seconds_bucket{le="0.5"} 1\n'
+            'seconds_bucket{le="1"} 1\n'
+            'seconds_bucket{le="+Inf"} 2\n'
+            "seconds_sum 7.25\n"
+            "seconds_count 2\n"
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(Recorder.create().metrics) == ""
+
+    def test_write_prometheus(self, tmp_path):
+        obs = Recorder.create()
+        obs.metrics.inc("hits_total", 3)
+        path = write_prometheus(tmp_path / "metrics.prom", obs.metrics)
+        assert path.read_text() == "# TYPE hits_total counter\nhits_total 3\n"
+
+    def test_deterministic_across_insertion_order(self):
+        first, second = Recorder.create(), Recorder.create()
+        first.metrics.inc("x_total")
+        first.metrics.inc("y_total", 2)
+        second.metrics.inc("y_total", 2)
+        second.metrics.inc("x_total")
+        assert to_prometheus(first.metrics) == to_prometheus(second.metrics)

@@ -1,0 +1,145 @@
+"""Unit tests of the metrics registry: instruments, determinism, merge."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, Metrics, NOOP_METRICS
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        metrics = Metrics()
+        metrics.counter("work_total").inc()
+        metrics.counter("work_total").inc(4)
+        assert metrics.counter_values() == {"work_total": 5}
+
+    def test_inc_convenience(self):
+        metrics = Metrics()
+        metrics.inc("events_total", 3)
+        assert metrics.counter("events_total").value == 3
+
+    def test_negative_increment_rejected(self):
+        metrics = Metrics()
+        with pytest.raises(ValueError, match="negative"):
+            metrics.counter("work_total").inc(-1)
+
+    def test_same_name_same_instrument(self):
+        metrics = Metrics()
+        assert metrics.counter("a") is metrics.counter("a")
+
+    def test_concurrent_increments_lose_nothing(self):
+        metrics = Metrics()
+
+        def work():
+            for _ in range(1000):
+                metrics.inc("hits_total")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("hits_total").value == 8000
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        metrics = Metrics()
+        gauge = metrics.gauge("depth")
+        gauge.set(3)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_max_keeps_peak(self):
+        metrics = Metrics()
+        gauge = metrics.gauge("peak")
+        gauge.max(5)
+        gauge.max(3)
+        assert gauge.value == 5.0
+
+
+class TestHistograms:
+    def test_boundaries_are_inclusive_upper_edges(self):
+        metrics = Metrics()
+        histogram = metrics.histogram("seconds", (0.1, 1.0))
+        histogram.observe(0.1)    # == first edge: first bucket
+        histogram.observe(0.5)    # second bucket
+        histogram.observe(100.0)  # +Inf bucket
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(100.6)
+
+    def test_bad_boundaries_rejected(self):
+        metrics = Metrics()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            metrics.histogram("bad", (1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            metrics.histogram("empty", ())
+
+    def test_boundary_mismatch_rejected(self):
+        metrics = Metrics()
+        metrics.histogram("seconds", (0.1, 1.0))
+        with pytest.raises(ValueError, match="different boundaries"):
+            metrics.histogram("seconds", (0.2, 1.0))
+
+    def test_default_buckets(self):
+        metrics = Metrics()
+        histogram = metrics.histogram("solve_seconds")
+        assert histogram.boundaries == DEFAULT_TIME_BUCKETS
+
+
+class TestRegistry:
+    def test_kind_uniqueness_enforced(self):
+        metrics = Metrics()
+        metrics.counter("thing")
+        with pytest.raises(ValueError, match="another kind"):
+            metrics.gauge("thing")
+        with pytest.raises(ValueError, match="another kind"):
+            metrics.histogram("thing", (1.0,))
+
+    def test_as_dict_is_sorted_and_plain(self):
+        metrics = Metrics()
+        metrics.inc("z_total")
+        metrics.inc("a_total", 2)
+        metrics.gauge("depth").set(1.5)
+        metrics.histogram("seconds", (1.0,)).observe(0.5)
+        payload = metrics.as_dict()
+        assert list(payload["counters"]) == ["a_total", "z_total"]
+        assert payload["counters"] == {"a_total": 2, "z_total": 1}
+        assert payload["gauges"] == {"depth": 1.5}
+        assert payload["histograms"]["seconds"] == {
+            "boundaries": [1.0],
+            "counts": [1, 0],
+            "sum": 0.5,
+            "count": 1,
+        }
+
+    def test_merge_adds_counters_and_cells_keeps_gauge_peak(self):
+        left, right = Metrics(), Metrics()
+        left.inc("work_total", 2)
+        right.inc("work_total", 3)
+        right.inc("only_right_total")
+        left.gauge("peak").set(4)
+        right.gauge("peak").set(9)
+        left.histogram("seconds", (1.0,)).observe(0.5)
+        right.histogram("seconds", (1.0,)).observe(2.0)
+        left.merge(right)
+        payload = left.as_dict()
+        assert payload["counters"] == {"only_right_total": 1, "work_total": 5}
+        assert payload["gauges"]["peak"] == 9.0
+        assert payload["histograms"]["seconds"]["counts"] == [1, 1]
+        assert payload["histograms"]["seconds"]["count"] == 2
+
+
+class TestNoop:
+    def test_noop_records_nothing(self):
+        assert not NOOP_METRICS.enabled
+        NOOP_METRICS.inc("anything", 5)
+        NOOP_METRICS.counter("c").inc()
+        NOOP_METRICS.gauge("g").max(3)
+        NOOP_METRICS.histogram("h").observe(1.0)
+        assert NOOP_METRICS.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+        assert NOOP_METRICS.counter_values() == {}

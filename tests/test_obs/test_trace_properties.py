@@ -1,0 +1,76 @@
+"""Property tests of the trace invariants over fuzz-generated scenarios.
+
+For a spread of generator seeds: instrumentation must be answer-neutral
+(traced answers == untraced answers, certain and possible), every produced
+span tree must satisfy the structural invariants (proper nesting,
+monotonic timestamps, child durations summing to at most the parent), and
+the whole recorder must export a schema-valid, JSON-round-trippable trace
+document.
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz.generator import FuzzConfig, random_scenario
+from repro.obs.export import trace_document, validate_trace_document
+from repro.obs.recorder import Recorder
+from repro.obs.tracing import validate_span_tree
+from repro.reduction.reduce import reduce_mapping
+from repro.xr.segmentary import SegmentaryEngine
+
+SEEDS = list(range(18))
+
+CONFIG = FuzzConfig(profile="mixed", max_facts=8, conflict_rate=0.6)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_traced_run_is_answer_neutral_and_invariant_clean(seed):
+    scenario = random_scenario(seed, CONFIG)
+    reduced = reduce_mapping(scenario.mapping)
+
+    with SegmentaryEngine(reduced, scenario.instance) as plain:
+        expected_certain = plain.answer(scenario.query)
+        expected_possible = plain.possible_answers(scenario.query)
+
+    obs = Recorder.create()
+    with SegmentaryEngine(reduced, scenario.instance, obs=obs) as traced:
+        assert traced.answer(scenario.query) == expected_certain
+        assert traced.possible_answers(scenario.query) == expected_possible
+
+    roots = obs.tracer.finished
+    # One exchange phase, then one query span per answer call.
+    names = [span.name for span in roots]
+    assert names == ["exchange", "query", "query"]
+    for root in roots:
+        assert validate_span_tree(root) == [], f"seed {seed}: {root.name}"
+
+    counters = obs.metrics.counter_values()
+    assert counters["queries_total"] == 2
+    assert (
+        counters["query_programs_solved_total"]
+        <= counters["query_signatures_total"]
+    )
+
+    document = trace_document(obs)
+    assert validate_trace_document(document) == []
+    assert json.loads(json.dumps(document)) == document
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_repeated_traced_runs_are_metric_identical(seed):
+    """Counters (not timings) are a pure function of the scenario."""
+    scenario = random_scenario(seed, CONFIG)
+    reduced = reduce_mapping(scenario.mapping)
+
+    def run():
+        obs = Recorder.create()
+        with SegmentaryEngine(reduced, scenario.instance, obs=obs) as engine:
+            engine.answer(scenario.query)
+        return {
+            name: value
+            for name, value in obs.metrics.counter_values().items()
+            if not name.startswith("solver_")
+        }
+
+    assert run() == run()

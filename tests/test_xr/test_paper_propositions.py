@@ -1,7 +1,7 @@
 """Property tests for the paper's propositions (§6), on random scenarios.
 
 Each test states one proposition and checks it against brute force on the
-small random ``glav+(wa-glav, egd)`` scenarios from ``xval_helper``.
+small random ``glav+(wa-glav, egd)`` scenarios from ``repro.fuzz.xval``.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -13,7 +13,7 @@ from repro.xr.envelope import analyze_envelopes
 from repro.xr.exchange import build_exchange_data
 from repro.xr.monolithic import MonolithicEngine
 from repro.xr.oracle import source_repairs, xr_certain_oracle
-from tests.test_xr.xval_helper import random_scenario
+from repro.fuzz.xval import random_scenario
 
 SEEDS = st.integers(0, 50_000)
 

@@ -12,7 +12,7 @@ from repro.xr import (
     xr_possible_oracle,
     xr_solutions,
 )
-from tests.test_xr.xval_helper import random_scenario
+from repro.fuzz.xval import random_scenario
 
 
 def f(rel, *args):

@@ -186,10 +186,18 @@ class TestStatsContract:
         instance = Instance([f("R", "a", "b"), f("R", "a", "c")])
         engine = SegmentaryEngine(mapping, instance, cache=False)
         _, first = engine.answer_with_stats(parse_query("q(x) :- P(x, y)."))
-        assert engine.last_query_stats is first
+        # The accessor agrees with the returned stats by value, but hands
+        # out an independent copy: mutating it cannot corrupt the engine.
+        published = engine.last_query_stats
+        assert published == first
+        assert published is not first
+        published.programs_solved = -1
+        published.solver_stats["conflicts"] = -1
+        published.unknown_candidates.add(("poisoned",))
+        assert engine.last_query_stats == first
         snapshot = first.programs_solved
         _, second = engine.answer_with_stats(parse_query("q(y) :- P(x, y)."))
-        assert engine.last_query_stats is second
+        assert engine.last_query_stats == second
         assert second is not first
         # The earlier stats object is immutable history, not a live view.
         assert first.programs_solved == snapshot

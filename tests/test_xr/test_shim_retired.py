@@ -1,0 +1,44 @@
+"""The PR 2 ``xval_helper`` compatibility shim is gone for good.
+
+The cross-validation generator's one true home is :mod:`repro.fuzz.xval`;
+this test keeps the retired test-tree shim from creeping back in and
+scans the whole tree for stale import paths.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: Any way of importing the retired shim module.
+STALE_IMPORT = re.compile(
+    r"(from\s+\S*xval_helper\s+import|import\s+\S*xval_helper)"
+)
+
+
+def python_files():
+    for root in ("src", "tests", "benchmarks"):
+        directory = REPO / root
+        if directory.is_dir():
+            yield from directory.rglob("*.py")
+
+
+def test_shim_file_is_deleted():
+    assert not (REPO / "tests" / "test_xr" / "xval_helper.py").exists()
+
+
+def test_no_stale_import_paths_anywhere():
+    offenders = [
+        str(path.relative_to(REPO))
+        for path in python_files()
+        if STALE_IMPORT.search(path.read_text())
+    ]
+    assert offenders == [], f"stale xval_helper imports: {offenders}"
+
+
+def test_library_home_exports_the_historical_names():
+    from repro.fuzz.xval import (  # noqa: F401
+        check_scenario,
+        random_scenario,
+        xval_scenario,
+    )
