@@ -10,7 +10,11 @@ Three measured stages, per genomics scenario (size × suspect rate):
   phase (``QueryPhaseStats.build_seconds`` over a fixed query subset,
   caches disabled so construction is actually exercised);
 - **solve** — stable-model solving of the built programs
-  (``QueryPhaseStats.solve_seconds``).
+  (``QueryPhaseStats.solve_seconds``);
+- **incremental** — one single-tuple delta (retract + re-insert of a
+  suspect source fact, the cluster-touching worst case) applied through
+  :class:`~repro.incremental.UpdateSession`, against the full re-exchange
+  baseline; the reported ``speedup`` is the PR 7 acceptance number.
 
 The paper's practicality claim (§5–§6) rests on the first two stages
 being PTIME-cheap so the NP-hard solving dominates; these benchmarks
@@ -158,6 +162,36 @@ def run_micro_scenario(
         key: _median([run[key] for run in query_runs])
         for key in ("program_build", "solve", "query_total")
     }
+
+    # Incremental stage: a fresh engine + update session per repeat (the
+    # session mutates the exchange state in place, so the measured
+    # artifacts above are not reused), timing a single-tuple retract and
+    # its re-insert.  A suspect fact is the worst case — it touches a
+    # cluster and forces envelope recomputation and cache invalidation.
+    from repro.incremental import Delta
+
+    delta_runs: list[float] = []
+    for _ in range(max(1, repeats)):
+        engine = SegmentaryEngine(reduced, instance.copy(), cache=False, obs=obs)
+        session = engine.update_session()
+        suspects = sorted(engine.analysis.suspect_source, key=repr)
+        target = suspects[0] if suspects else sorted(instance, key=repr)[0]
+        started = time.perf_counter()
+        session.apply(Delta(retracts=frozenset({target})))
+        session.apply(Delta(inserts=frozenset({target})))
+        delta_runs.append((time.perf_counter() - started) / 2)
+        engine.close()
+    single_delta = _median(delta_runs)
+    incremental = {
+        "single_delta": single_delta,
+        "full_exchange": exchange_medians["total"],
+        "speedup": (
+            round(exchange_medians["total"] / single_delta, 2)
+            if single_delta > 0
+            else float("inf")
+        ),
+    }
+
     return {
         "profile": {
             "name": name,
@@ -167,6 +201,7 @@ def run_micro_scenario(
         "counts": counts,
         "exchange_s": exchange_medians,
         "query_s": query_medians,
+        "incremental_s": incremental,
         "programs_solved": programs_solved,
         "answers": answers,
     }
@@ -209,6 +244,7 @@ def format_micro_table(payload: dict) -> str:
     """Render a micro-benchmark payload as an aligned table."""
     rows = []
     for name, row in payload["scenarios"].items():
+        incremental = row.get("incremental_s")  # absent in pre-PR7 payloads
         rows.append(
             [
                 name,
@@ -218,11 +254,13 @@ def format_micro_table(payload: dict) -> str:
                 f"{row['exchange_s']['total']:.3f}",
                 f"{row['query_s']['program_build']:.3f}",
                 f"{row['query_s']['solve']:.3f}",
+                f"{incremental['single_delta']:.4f}" if incremental else "-",
+                f"{incremental['speedup']:.1f}x" if incremental else "-",
             ]
         )
     return format_table(
         ["scenario", "facts", "groundings", "suspects",
-         "exchange[s]", "build[s]", "solve[s]"],
+         "exchange[s]", "build[s]", "solve[s]", "1-delta[s]", "incr"],
         rows,
         title=f"micro-benchmark medians over {payload['repeats']} repeat(s)",
     )

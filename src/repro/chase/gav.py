@@ -115,38 +115,93 @@ def _check_rules(rules: Sequence[TGD]) -> None:
             )
 
 
+class PivotEntry:
+    """One (rule, pivot-atom) pair of a :class:`RuleIndex`.
+
+    The join over the remaining body atoms is compiled lazily on first use
+    and reused for every later delta fact and round: its plan depends only
+    on the bound-variable *names* (the pivot's variables), never on their
+    values or on the instance contents, so one plan serves every instance
+    the index is ever run against.
+    """
+
+    __slots__ = ("rule", "pivot", "rest", "ground", "substituters", "_join")
+
+    def __init__(self, rule: TGD, position: int, ground) -> None:
+        self.rule = rule
+        self.pivot = rule.body[position]
+        self.rest = [a for i, a in enumerate(rule.body) if i != position]
+        self.ground = ground
+        self.substituters = tuple(
+            compile_substituter(atom) for atom in rule.body
+        )
+        self._join: CompiledJoin | None = None
+
+    def join(self, instance: Instance) -> CompiledJoin:
+        if self._join is None:
+            self._join = CompiledJoin(
+                instance, self.rest, self.pivot.variables()
+            )
+        return self._join
+
+    def seed(self, fact: Fact) -> dict[Variable, Any] | None:
+        return _unify_atom_with_fact(self.pivot, fact, {})
+
+    def body_facts(self, binding: dict[Variable, Any]) -> tuple[Fact, ...]:
+        return tuple(sub(binding) for sub in self.substituters)
+
+
+class RuleIndex:
+    """Per-relation pivot index over GAV rules.
+
+    Indexing a delta fact into the rules it can wake is the core step of
+    both the full semi-naive chase (:func:`gav_chase`) and the delta chase
+    of :mod:`repro.incremental`; building the index once and sharing it
+    amortizes head-grounder/substituter compilation and the lazy join
+    plans across every round — and, for an update session, across every
+    applied delta.
+    """
+
+    def __init__(self, rules: Sequence[TGD]) -> None:
+        _check_rules(rules)
+        self.rules = list(rules)
+        self.by_relation: dict[str, list[PivotEntry]] = {}
+        for rule in self.rules:
+            ground = compile_head_grounder(rule)
+            for position in range(len(rule.body)):
+                entry = PivotEntry(rule, position, ground)
+                self.by_relation.setdefault(entry.pivot.relation, []).append(
+                    entry
+                )
+
+    def entries_for(self, relation: str) -> Sequence[PivotEntry]:
+        return self.by_relation.get(relation, ())
+
+
 def gav_chase(
     instance: Instance,
     rules: Sequence[TGD],
     max_rounds: int = 1_000_000,
     stats: dict[str, int] | None = None,
+    index: RuleIndex | None = None,
 ) -> Instance:
     """Compute the least fixpoint of ``rules`` over ``instance`` (a copy).
 
     Semi-naive evaluation: round ``k`` matches each rule body with at least
-    one atom bound to a fact derived in round ``k - 1``.
+    one atom bound to a fact derived in round ``k - 1``.  A prebuilt
+    ``index`` (:class:`RuleIndex` over the same rules) can be passed to
+    share compiled joins across repeated chases.
 
     When ``stats`` is a dict, the deterministic work counters ``rounds``
     (semi-naive delta iterations) and ``derived_facts`` (facts added
     beyond the input) are recorded into it (observability; answer-neutral).
     """
-    _check_rules(rules)
+    if index is None:
+        index = RuleIndex(rules)
+    else:
+        _check_rules(rules)
     work = instance.copy()
     delta = list(instance)
-
-    # Index rules by body relation so a delta fact only wakes relevant
-    # rules.  Per (rule, pivot): the pivot atom, the rest of the body, and
-    # the compiled head grounder; the join over the rest is compiled lazily
-    # on first use and reused for every later delta fact and round (its
-    # bound-variable set — the pivot's variables — never changes).
-    by_relation: dict[str, list[list]] = {}
-    grounders = {id(rule): compile_head_grounder(rule) for rule in rules}
-    for rule in rules:
-        for index, atom in enumerate(rule.body):
-            rest = [a for i, a in enumerate(rule.body) if i != index]
-            by_relation.setdefault(atom.relation, []).append(
-                [atom, rest, grounders[id(rule)], None]
-            )
 
     rounds = 0
     while delta:
@@ -155,18 +210,16 @@ def gav_chase(
             raise RuntimeError(f"gav_chase exceeded {max_rounds} rounds")
         next_delta: list[Fact] = []
         for fact in delta:
-            for entry in by_relation.get(fact.relation, ()):
-                pivot_atom, rest, ground, join = entry
-                seed = _unify_atom_with_fact(pivot_atom, fact, {})
+            for entry in index.entries_for(fact.relation):
+                seed = entry.seed(fact)
                 if seed is None:
                     continue
-                if join is None:
-                    join = CompiledJoin(work, rest, pivot_atom.variables())
-                    entry[3] = join
+                join = entry.join(work)
                 # Buffer heads: adding to `work` while the join iterates
                 # over it would mutate the live extension sets.
                 derived = [
-                    ground(binding) for binding in join.bindings(work, seed)
+                    entry.ground(binding)
+                    for binding in join.bindings(work, seed)
                 ]
                 for head_fact in derived:
                     if work.add(head_fact):

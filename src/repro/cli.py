@@ -4,15 +4,22 @@ Mirrors the paper implementation's inputs — a schema mapping as text, a
 source instance, and queries — without writing any Python::
 
     python -m repro answer  -m mapping.txt -d data.txt -q "q(x) :- T(x, y)."
+    python -m repro answer  -m mapping.txt -d data.txt -q "..." --updates updates.txt
     python -m repro repairs -m mapping.txt -d data.txt --limit 5
     python -m repro check   -m mapping.txt -d data.txt
     python -m repro fuzz    --seeds 200 --shrink
+    python -m repro fuzz    --seeds 100 --updates 20
 
 ``answer`` prints the XR-Certain answers (or XR-Possible with
-``--possible``); ``repairs`` enumerates exchange-repair solutions;
-``check`` runs the exchange phase and reports violations, clusters, and the
-suspect/safe split; ``fuzz`` runs a differential campaign across every
-engine configuration and exits non-zero on any disagreement.
+``--possible``); with ``--updates`` it first replays a stream of source
+inserts/retracts through the incremental maintenance layer
+(:mod:`repro.incremental`) and answers against the updated state.
+``repairs`` enumerates exchange-repair solutions; ``check`` runs the
+exchange phase and reports violations, clusters, and the suspect/safe
+split; ``fuzz`` runs a differential campaign across every engine
+configuration (with ``--updates N``: an update-workload campaign
+comparing incremental maintenance against from-scratch re-exchange at
+every step) and exits non-zero on any disagreement.
 """
 
 from __future__ import annotations
@@ -70,6 +77,19 @@ def _command_answer(arguments) -> int:
     mapping, instance = _load(arguments)
     query = parse_program(arguments.query)
     budget = _budget_from(arguments)
+    updates = None
+    if getattr(arguments, "updates", None):
+        if arguments.method != "segmentary":
+            print(
+                "--updates requires the segmentary method (incremental "
+                "maintenance lives on the segmentary engine)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.incremental import parse_update_stream
+
+        with open(arguments.updates) as handle:
+            updates = parse_update_stream(handle.read())
     # A configured budget implies degraded answers are acceptable: that is
     # the point of setting one.  Without a budget nothing can time out and
     # the flag is irrelevant.
@@ -93,6 +113,19 @@ def _command_answer(arguments) -> int:
         with SegmentaryEngine(
             mapping, instance, jobs=arguments.jobs, budget=budget, obs=obs
         ) as engine:
+            if updates is not None:
+                session = engine.update_session()
+                reports = session.apply_stream(updates)
+                totals = session.stats
+                print(
+                    f"% applied {len(reports)} update step(s) "
+                    f"({totals.noop_deltas} no-op) in "
+                    f"{totals.seconds:.3f}s: "
+                    f"{totals.clusters_touched} cluster(s) touched, "
+                    f"{totals.clusters_retired} retired, "
+                    f"{totals.cache_invalidated} cache entr(ies) "
+                    f"invalidated"
+                )
             answers, stats = engine.answer_with_stats(
                 query, mode=mode, allow_partial=allow_partial
             )
@@ -174,19 +207,35 @@ def _command_fuzz(arguments) -> int:
         check_parallel=not arguments.no_parallel,
         check_faults=arguments.faults,
     )
-    summary = run_fuzz(
-        seeds=arguments.seeds,
-        start=arguments.start,
-        config=config,
-        jobs=arguments.jobs,
-        shrink=arguments.shrink,
-        corpus_dir=arguments.corpus,
-        log=print,
-    )
-    close_shared_executor()
+    if arguments.updates:
+        from repro.fuzz import run_update_fuzz
+
+        summary = run_update_fuzz(
+            seeds=arguments.seeds,
+            start=arguments.start,
+            steps=arguments.updates,
+            config=config,
+            jobs=arguments.jobs,
+            shrink=arguments.shrink,
+            corpus_dir=arguments.corpus,
+            log=print,
+        )
+        mode_note = f"update streams × {arguments.updates} step(s)"
+    else:
+        summary = run_fuzz(
+            seeds=arguments.seeds,
+            start=arguments.start,
+            config=config,
+            jobs=arguments.jobs,
+            shrink=arguments.shrink,
+            corpus_dir=arguments.corpus,
+            log=print,
+        )
+        close_shared_executor()
+        mode_note = config.profile
     print(
         f"% {summary.seeds} seed(s) from {summary.start} "
-        f"({config.profile}), {summary.seconds:.1f}s, "
+        f"({mode_note}), {summary.seconds:.1f}s, "
         f"{len(summary.failures)} failure(s)"
     )
     for failure in summary.failures:
@@ -262,6 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default="segmentary")
     answer.add_argument("--possible", action="store_true",
                         help="brave (XR-Possible) instead of certain answers")
+    answer.add_argument("--updates", metavar="PATH",
+                        help="replay an update stream (lines '+Fact.' / "
+                        "'-Fact.', blank-line-separated steps) through the "
+                        "incremental maintenance layer before answering "
+                        "(segmentary method only)")
     answer.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for signature solving "
                         "(segmentary method only; default 1 = in-process)")
@@ -313,6 +367,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the Definition 1 oracle (faster, weaker)")
     fuzz.add_argument("--no-parallel", action="store_true",
                       help="skip the parallel-executor engine axis")
+    fuzz.add_argument("--updates", type=int, default=0, metavar="STEPS",
+                      help="update-workload mode: per seed, generate a "
+                      "STEPS-step random insert/retract stream and check "
+                      "incremental maintenance against from-scratch "
+                      "re-exchange at every step (answers, clusters, "
+                      "envelopes)")
     fuzz.add_argument("--faults", action="store_true",
                       help="also inject seeded worker crashes/hangs per "
                       "scenario and check recovery + degradation "

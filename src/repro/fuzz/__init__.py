@@ -74,6 +74,18 @@ from repro.fuzz.render import (
     scenarios_equal,
 )
 from repro.fuzz.shrink import shrink_scenario
+from repro.fuzz.updates import (
+    check_update_seed,
+    check_update_stream,
+    load_update_corpus,
+    parse_update_scenario,
+    random_update_stream,
+    render_update_scenario,
+    replay_update_corpus,
+    run_update_fuzz,
+    save_update_repro,
+    shrink_update_stream,
+)
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -106,13 +118,23 @@ __all__ = [
     "render_mapping",
     "render_query",
     "render_scenario",
+    "check_update_seed",
+    "check_update_stream",
+    "load_update_corpus",
+    "parse_update_scenario",
+    "random_update_stream",
+    "render_update_scenario",
     "replay",
     "replay_corpus",
+    "replay_update_corpus",
     "run_differential",
     "run_fault_check",
     "run_fuzz",
+    "run_update_fuzz",
     "save_repro",
+    "save_update_repro",
     "scenario_digest",
     "scenarios_equal",
     "shrink_scenario",
+    "shrink_update_stream",
 ]

@@ -1,0 +1,273 @@
+"""Semi-naive delta-chase over materialized exchange data.
+
+Maintains the chased instance, the grounding list, and the violation list
+of an :class:`~repro.xr.exchange.ExchangeData` under one normalized
+:class:`~repro.incremental.delta.Delta`, without re-running the chase or
+the grounding/violation joins from scratch:
+
+**Retraction** is exact liveness over recorded provenance: the facts
+derivable from the remaining sources are recomputed by count-down
+propagation over the grounding adjacency
+(:func:`~repro.xr.envelope.derivable_ids`, Dowling–Gallier); everything
+chased but no longer derivable is dead.  A grounding dies iff any body
+fact dies (a live body forces a live head), a violation iff any body fact
+dies.
+
+**Insertion** is a semi-naive worklist doubling as grounding enumeration:
+every new fact is added to the chased instance and then *pivoted* through
+the shared :class:`~repro.chase.gav.RuleIndex` — each binding of the rest
+of a rule body yields a grounding whose head is derived (and enqueued if
+new).  A grounding with several new body facts is found when pivoting on
+whichever of them is processed last (all the others are already in the
+instance by then), so every grounding touching the delta is enumerated;
+groundings whose body predates the delta were enumerated before.  New
+violations are found the same way after the chase settles, pivoting each
+new fact through the egd bodies, deduplicated against the live set by the
+canonical :func:`~repro.xr.exchange.violation_key`.
+
+Adjacency indexes are maintained **in place** (swap-remove on deletion,
+append on insertion — see :func:`~repro.xr.exchange.remove_groundings`);
+a delta costs work proportional to what it touched, not to the exchange
+size.  Fact ids are **stable**: dead facts keep their interned id with
+adjacency rows drained, so a later re-insertion rejoins the same id and
+every id-keyed artifact — envelopes, signatures, cache keys — stays
+meaningful across the whole update session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chase.gav import RuleIndex, _unify_atom_with_fact
+from repro.dependencies.egds import EGD
+from repro.relational.instance import Fact, Instance
+from repro.relational.queries import CompiledJoin
+from repro.xr.envelope import derivable_ids
+from repro.xr.exchange import (
+    ExchangeData,
+    Violation,
+    append_grounding,
+    append_violation,
+    grounded_egd_violation,
+    remove_groundings,
+    remove_violations,
+    violation_key,
+)
+
+from repro.incremental.delta import Delta
+
+#: Identity of one grounding.  The rule is keyed by ``id()``: reduced
+#: mappings can hold *distinct* rules that compare equal (``TGD.__eq__``
+#: ignores labels, and e.g. a duplicated head atom splits into two
+#: value-identical single-head rules), and each owns its own groundings.
+#: Rule objects are stable for the data's lifetime (``mapping.all_tgds()``
+#: returns the stored tuples), so ``id`` is a sound key.
+GroundingKey = tuple[int, tuple[Fact, ...], Fact]
+
+
+def grounding_key(
+    rule, body_facts: tuple[Fact, ...], head_fact: Fact
+) -> GroundingKey:
+    return (id(rule), body_facts, head_fact)
+
+
+class EgdPivotEntry:
+    """One (egd, pivot-atom) pair; mirror of the tgd pivot entries."""
+
+    __slots__ = ("egd", "pivot", "rest", "_join")
+
+    def __init__(self, egd: EGD, position: int) -> None:
+        self.egd = egd
+        self.pivot = egd.body[position]
+        self.rest = [a for i, a in enumerate(egd.body) if i != position]
+        self._join: CompiledJoin | None = None
+
+    def join(self, instance: Instance) -> CompiledJoin:
+        if self._join is None:
+            self._join = CompiledJoin(
+                instance, self.rest, self.pivot.variables()
+            )
+        return self._join
+
+    def seed(self, fact: Fact):
+        return _unify_atom_with_fact(self.pivot, fact, {})
+
+
+class EgdIndex:
+    """Per-relation pivot index over egd bodies (violation maintenance)."""
+
+    def __init__(self, egds) -> None:
+        self.by_relation: dict[str, list[EgdPivotEntry]] = {}
+        for egd in egds:
+            for position, atom in enumerate(egd.body):
+                self.by_relation.setdefault(atom.relation, []).append(
+                    EgdPivotEntry(egd, position)
+                )
+
+    def entries_for(self, relation: str) -> list[EgdPivotEntry]:
+        return self.by_relation.get(relation, [])
+
+
+@dataclass
+class DeltaChaseReport:
+    """What one delta did to the fact-level exchange state (in id space)."""
+
+    new_ids: set[int] = field(default_factory=set)
+    dead_ids: set[int] = field(default_factory=set)
+    added_groundings: int = 0
+    removed_groundings: int = 0
+    # Ids of every fact of an added grounding (bodies may be old facts:
+    # they mark where new derivations attach) and heads of removed ones.
+    added_grounding_fact_ids: set[int] = field(default_factory=set)
+    removed_grounding_head_ids: set[int] = field(default_factory=set)
+    new_violations: list[Violation] = field(default_factory=list)
+    dead_violations: list[Violation] = field(default_factory=list)
+
+    def dirty_ids(self) -> set[int]:
+        """Every fact id whose derivation neighborhood the delta changed —
+        the conservative support of the delta for cluster-touch tests."""
+        return (
+            self.new_ids
+            | self.dead_ids
+            | self.added_grounding_fact_ids
+            | self.removed_grounding_head_ids
+        )
+
+
+def apply_delta_chase(
+    data: ExchangeData,
+    delta: Delta,
+    rule_index: RuleIndex,
+    egd_index: EgdIndex,
+    grounding_keys: set,
+    violation_keys: set,
+) -> DeltaChaseReport:
+    """Apply a **normalized** delta to ``data`` in place.
+
+    Mutates ``data.source_instance`` / ``data.chased`` / ``data.groundings``
+    / ``data.violations``, keeps ``grounding_keys`` / ``violation_keys``
+    (the identities of the live groundings and the canonical keys of the
+    live violations) in sync, and maintains the adjacency indexes in
+    place (fact ids stay stable).  Keeping the key sets session-lifetime
+    matters twice
+    over: lookups stay O(1) per found grounding instead of rebuilding a
+    set per delta, and discarding dead keys on retraction is what lets a
+    later re-insertion re-derive the same grounding.  Returns the id-space
+    report the cluster maintenance layer works from.
+    """
+    report = DeltaChaseReport()
+    source = data.source_instance
+    chased = data.chased
+    fact_ids = data.fact_ids
+
+    # ------------------------------------------------------- retraction
+    if delta.retracts:
+        remaining_ids = {
+            fact_ids[f] for f in source if f not in delta.retracts
+        }
+        alive = derivable_ids(remaining_ids, data)
+        chased_ids = {fact_ids[f] for f in chased}
+        report.dead_ids = chased_ids - alive
+
+    if report.dead_ids:
+        dead = report.dead_ids
+        # Every grounding with a dead body fact (the per-fact adjacency
+        # rows enumerate them directly) dies; likewise every violation.
+        # Groundings whose head is dead always have a dead body too (a
+        # fully-live body would keep the head derivable), so the body rows
+        # find everything.
+        dead_grounding_positions: set[int] = set()
+        dead_violation_positions: set[int] = set()
+        for fact_id in dead:
+            dead_grounding_positions.update(data.occurs_in_body[fact_id])
+            dead_violation_positions.update(data.violations_by_fact[fact_id])
+        for index in dead_grounding_positions:
+            report.removed_groundings += 1
+            report.removed_grounding_head_ids.add(data.grounding_heads[index])
+            grounding_keys.discard(grounding_key(*data.groundings[index]))
+        remove_groundings(data, dead_grounding_positions)
+        for index in dead_violation_positions:
+            violation = data.violations[index]
+            report.dead_violations.append(violation)
+            violation_keys.discard(violation_key(violation))
+        remove_violations(data, dead_violation_positions)
+
+        facts_by_id = data.facts_by_id
+        for fact_id in dead:
+            chased.discard(facts_by_id[fact_id])
+    for fact in delta.retracts:
+        source.discard(fact)
+
+    # -------------------------------------------------------- insertion
+    if delta.inserts:
+        queue: list[Fact] = []
+        for fact in sorted(delta.inserts, key=repr):
+            source.add(fact)
+            if chased.add(fact):
+                report.new_ids.add(data.intern_fact(fact))
+                queue.append(fact)
+
+        added: list[tuple] = []
+        cursor = 0
+        while cursor < len(queue):
+            fact = queue[cursor]
+            cursor += 1
+            for entry in rule_index.entries_for(fact.relation):
+                seed = entry.seed(fact)
+                if seed is None:
+                    continue
+                join = entry.join(chased)
+                # Materialize the matches before deriving: adding heads to
+                # `chased` while the join iterates would mutate the live
+                # extension sets.
+                found = [
+                    (entry.body_facts(binding), entry.ground(binding))
+                    for binding in join.bindings(chased, seed)
+                ]
+                for body_facts, head_fact in found:
+                    if head_fact in body_facts:
+                        continue  # tautological; never a real derivation
+                    added.append((entry.rule, body_facts, head_fact))
+                    if chased.add(head_fact):
+                        report.new_ids.add(data.intern_fact(head_fact))
+                        queue.append(head_fact)
+
+        # Pivoting one fact through several body positions (or two new
+        # facts through one grounding) re-finds the same grounding: dedup
+        # against both this batch and the surviving pre-delta groundings.
+        for grounding in added:
+            key = grounding_key(*grounding)
+            if key in grounding_keys:
+                continue
+            grounding_keys.add(key)
+            head_id, body_ids = append_grounding(data, grounding)
+            report.added_groundings += 1
+            report.added_grounding_fact_ids.add(head_id)
+            report.added_grounding_fact_ids.update(body_ids)
+
+        # New violations: every violation gaining a new body fact is found
+        # by pivoting that fact (the whole body is present now the chase
+        # has settled); all-old violations are already in `violation_keys`.
+        facts_by_id = data.facts_by_id
+        for fact_id in sorted(report.new_ids):
+            fact = facts_by_id[fact_id]
+            for entry in egd_index.entries_for(fact.relation):
+                seed = entry.seed(fact)
+                if seed is None:
+                    continue
+                join = entry.join(chased)
+                for binding in join.bindings(chased, seed):
+                    violation = grounded_egd_violation(entry.egd, binding)
+                    if violation is None:
+                        continue
+                    key = violation_key(violation)
+                    if key in violation_keys:
+                        continue
+                    violation_keys.add(key)
+                    append_violation(data, violation)
+                    report.new_violations.append(violation)
+
+    # Memoized forward closures are stale wherever the delta touched the
+    # grounding graph; they repopulate lazily on the next cluster build.
+    data._influence_cache.clear()
+    return report

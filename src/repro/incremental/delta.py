@@ -1,0 +1,123 @@
+"""Source-instance deltas and the textual update-stream format.
+
+A :class:`Delta` is one atomic batch of tuple inserts and retracts against
+the *source* instance; applying it yields ``(source − retracts) ∪ inserts``.
+Update streams (``updates.txt`` for ``repro answer --updates``, the fuzz
+corpus, and the benchmarks) serialize a list of deltas as::
+
+    % optional comment
+    +R('a', 1).
+    -S('b').
+
+    +R('c', 2).
+
+one line per tuple (``+`` insert, ``-`` retract), blank lines separating
+steps, ``%`` starting a comment.  Facts use the same syntax as instance
+files and are parsed by the shared parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.instance import Fact, Instance
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One update step: apply as ``(source − retracts) ∪ inserts``."""
+
+    inserts: frozenset[Fact] = frozenset()
+    retracts: frozenset[Fact] = frozenset()
+
+    def is_noop(self) -> bool:
+        return not self.inserts and not self.retracts
+
+    def support_facts(self) -> frozenset[Fact]:
+        """Every fact the delta mentions (for locality statements)."""
+        return self.inserts | self.retracts
+
+    def normalized(self, source: Instance) -> "Delta":
+        """The effective delta against ``source``.
+
+        Inserts already present are dropped, retracts of absent facts are
+        dropped, and a fact both inserted and retracted ends up present
+        (the insert wins), matching the set semantics above.
+        """
+        inserts = frozenset(f for f in self.inserts if f not in source)
+        retracts = frozenset(
+            f
+            for f in self.retracts
+            if f in source and f not in self.inserts
+        )
+        return Delta(inserts=inserts, retracts=retracts)
+
+    def inverted(self) -> "Delta":
+        """The delta undoing this one (exact once normalized)."""
+        return Delta(inserts=self.retracts, retracts=self.inserts)
+
+    def __repr__(self) -> str:
+        return (
+            f"Delta(+{sorted(self.inserts, key=repr)!r}, "
+            f"-{sorted(self.retracts, key=repr)!r})"
+        )
+
+
+def apply_delta(instance: Instance, delta: Delta) -> Instance:
+    """A fresh instance with ``delta`` applied (the reference semantics)."""
+    updated = instance.copy()
+    for fact in delta.retracts:
+        updated.discard(fact)
+    for fact in delta.inserts:
+        updated.add(fact)
+    return updated
+
+
+def parse_update_stream(text: str) -> list[Delta]:
+    """Parse the textual update-stream format into a list of deltas."""
+    from repro.parser.parser import parse_instance
+
+    steps: list[Delta] = []
+    insert_lines: list[str] = []
+    retract_lines: list[str] = []
+
+    def flush() -> None:
+        if not insert_lines and not retract_lines:
+            return
+        inserts = frozenset(parse_instance("\n".join(insert_lines)))
+        retracts = frozenset(parse_instance("\n".join(retract_lines)))
+        steps.append(Delta(inserts=inserts, retracts=retracts))
+        insert_lines.clear()
+        retract_lines.clear()
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("%", 1)[0].strip()
+        if not line:
+            flush()
+            continue
+        if line.startswith("+"):
+            insert_lines.append(line[1:].strip())
+        elif line.startswith("-"):
+            retract_lines.append(line[1:].strip())
+        else:
+            raise ValueError(
+                f"update stream line must start with '+' or '-': {raw_line!r}"
+            )
+    flush()
+    return steps
+
+
+def render_update_stream(deltas: list[Delta]) -> str:
+    """Serialize deltas back into the textual format (deterministic).
+
+    Empty steps are dropped: the format has no way to express them, and
+    every producer (fuzz generator, shrinker) guarantees non-empty steps.
+    """
+    blocks: list[str] = []
+    for delta in deltas:
+        if delta.is_noop():
+            continue
+        lines = [f"+{fact!r}." for fact in sorted(delta.inserts, key=repr)]
+        lines += [f"-{fact!r}." for fact in sorted(delta.retracts, key=repr)]
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"

@@ -9,8 +9,8 @@ input of one per-signature program.  A warm engine answering the same query
 again (the pattern of ``run_query_suite`` and the Table 3 suite) hits this
 layer and skips program construction *and* solving.
 
-**Per-cluster decision memo.**  Keyed by ``(signature, encoding, mode)`` →
-``{focus-support structure → accepted?}``.  A candidate's acceptance
+**Per-cluster decision memo.**  Keyed by ``(signature, encoding, mode,
+focus-support structure)`` → ``accepted?``.  A candidate's acceptance
 depends only on the repair core of its signature's clusters and on its
 support sets restricted to the focus (safe facts are represented by *true*
 and drop out) — not on the query's name or answer tuple.  Two different
@@ -20,6 +20,24 @@ hits across queries that are merely structurally similar.  Validity rests
 on cluster independence (Definition 8): query atoms never feed back into
 the repair core, so each candidate is decided independently within its
 signature program.
+
+**Bounded memory (LRU).**  Both layers accept an optional capacity; when
+an insert would exceed it, the least-recently-*used* entry is evicted
+(lookups and stores both refresh recency).  Eviction never changes
+answers — a later query that would have hit the evicted entry simply
+rebuilds and re-solves — so the policy is answer-neutral by construction,
+and a long-lived process (the ROADMAP's serving tier) gets a bounded
+footprint.  Evictions are counted in :class:`CacheStats` and, when a
+metrics registry is attached, in ``cache_program_evictions_total`` /
+``cache_decision_evictions_total``.
+
+**Cluster-keyed invalidation.**  Every key embeds the signature — the set
+of violation-cluster ids whose meaning is fixed by the engine's
+:class:`~repro.xr.envelope.EnvelopeAnalysis`.  Incremental maintenance
+(:mod:`repro.incremental`) retires the ids of clusters an update touched
+and mints fresh ids for their replacements; :meth:`invalidate_clusters`
+then drops exactly the entries whose signature meets the retired set,
+so decisions about *unaffected* clusters survive the update.
 """
 
 from __future__ import annotations
@@ -59,28 +77,53 @@ def program_key(
 
 @dataclass
 class CacheStats:
-    """Cumulative hit/miss counters (lifetime of the cache object)."""
+    """Cumulative hit/miss/eviction counters (lifetime of the cache)."""
 
     program_hits: int = 0
     program_misses: int = 0
     decision_hits: int = 0
     decision_misses: int = 0
+    program_evictions: int = 0
+    decision_evictions: int = 0
+    invalidated: int = 0
 
 
 class SignatureProgramCache:
     """The two cache layers plus their counters; one per warm engine.
 
-    Entries are valid for the lifetime of one exchange phase: all keys
-    embed the signature (cluster indexes), whose meaning is fixed by the
-    engine's :class:`~repro.xr.envelope.EnvelopeAnalysis`.  Re-running the
-    exchange (a new engine) must start from an empty cache.
+    Entries are valid for the lifetime of one exchange phase *or*, under
+    :mod:`repro.incremental` maintenance, until the update session retires
+    a cluster id appearing in their signature (``invalidate_clusters``).
+    Re-running the exchange from scratch (a new engine) must still start
+    from an empty cache.
+
+    ``max_programs`` / ``max_decisions`` bound each layer; ``None`` (the
+    default) keeps the historical unbounded behavior.  Eviction is LRU
+    and answer-neutral.  An optional ``metrics``
+    (:class:`~repro.obs.metrics.Metrics`) registry receives eviction
+    counters so long-lived processes can watch cache pressure.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        max_programs: int | None = None,
+        max_decisions: int | None = None,
+    ) -> None:
+        if max_programs is not None and max_programs < 1:
+            raise ValueError(f"max_programs must be >= 1, got {max_programs}")
+        if max_decisions is not None and max_decisions < 1:
+            raise ValueError(f"max_decisions must be >= 1, got {max_decisions}")
+        self.max_programs = max_programs
+        self.max_decisions = max_decisions
+        # Python dicts preserve insertion order; LRU recency is maintained
+        # by deleting + re-inserting on every touch, and eviction pops the
+        # oldest entry (next(iter(...))).
         self._programs: dict[ProgramKey, frozenset[Fact]] = {}
-        self._decisions: dict[tuple[frozenset[int], str, str],
-                              dict[DecisionKey, bool]] = {}
+        self._decisions: dict[
+            tuple[frozenset[int], str, str, DecisionKey], bool
+        ] = {}
         self.stats = CacheStats()
+        self.metrics = None  # optional repro.obs Metrics registry
 
     # ---------------------------------------------------- program layer
 
@@ -90,10 +133,24 @@ class SignatureProgramCache:
             self.stats.program_misses += 1
         else:
             self.stats.program_hits += 1
+            if self.max_programs is not None:
+                # Refresh recency (move to the back of the dict).
+                del self._programs[key]
+                self._programs[key] = accepted
         return accepted
 
     def store_program(self, key: ProgramKey, accepted: Iterable[Fact]) -> None:
+        if key in self._programs:
+            del self._programs[key]
         self._programs[key] = frozenset(accepted)
+        if (
+            self.max_programs is not None
+            and len(self._programs) > self.max_programs
+        ):
+            self._programs.pop(next(iter(self._programs)))
+            self.stats.program_evictions += 1
+            if self.metrics is not None:
+                self.metrics.inc("cache_program_evictions_total")
 
     # --------------------------------------------------- decision layer
 
@@ -104,11 +161,15 @@ class SignatureProgramCache:
         mode: str,
         key: DecisionKey,
     ) -> bool | None:
-        verdict = self._decisions.get((signature, encoding, mode), {}).get(key)
+        full_key = (signature, encoding, mode, key)
+        verdict = self._decisions.get(full_key)
         if verdict is None:
             self.stats.decision_misses += 1
         else:
             self.stats.decision_hits += 1
+            if self.max_decisions is not None:
+                del self._decisions[full_key]
+                self._decisions[full_key] = verdict
         return verdict
 
     def store_decision(
@@ -119,7 +180,48 @@ class SignatureProgramCache:
         key: DecisionKey,
         accepted: bool,
     ) -> None:
-        self._decisions.setdefault((signature, encoding, mode), {})[key] = accepted
+        full_key = (signature, encoding, mode, key)
+        if full_key in self._decisions:
+            del self._decisions[full_key]
+        self._decisions[full_key] = accepted
+        if (
+            self.max_decisions is not None
+            and len(self._decisions) > self.max_decisions
+        ):
+            self._decisions.pop(next(iter(self._decisions)))
+            self.stats.decision_evictions += 1
+            if self.metrics is not None:
+                self.metrics.inc("cache_decision_evictions_total")
+
+    # -------------------------------------------------- invalidation
+
+    def invalidate_clusters(self, cluster_ids: Iterable[int]) -> int:
+        """Drop every entry whose signature meets ``cluster_ids``.
+
+        Called by :mod:`repro.incremental` with the ids of clusters an
+        update retired (touched clusters get fresh ids).  Entries whose
+        signature is disjoint from the retired set describe clusters whose
+        repair structure is object-identical after the update, so they
+        stay valid and survive.  Returns the number of entries dropped.
+        """
+        retired = frozenset(cluster_ids)
+        if not retired:
+            return 0
+        dead_programs = [
+            key for key in self._programs if not retired.isdisjoint(key[0])
+        ]
+        for key in dead_programs:
+            del self._programs[key]
+        dead_decisions = [
+            key for key in self._decisions if not retired.isdisjoint(key[0])
+        ]
+        for key in dead_decisions:
+            del self._decisions[key]
+        dropped = len(dead_programs) + len(dead_decisions)
+        self.stats.invalidated += dropped
+        if self.metrics is not None and dropped:
+            self.metrics.inc("cache_invalidated_entries_total", dropped)
+        return dropped
 
     # ------------------------------------------------------------ misc
 
@@ -128,6 +230,4 @@ class SignatureProgramCache:
         self._decisions.clear()
 
     def __len__(self) -> int:
-        return len(self._programs) + sum(
-            len(entry) for entry in self._decisions.values()
-        )
+        return len(self._programs) + len(self._decisions)

@@ -79,6 +79,13 @@ class ViolationCluster:
 
     The fact-set fields mirror the paper's definitions; the ``*_ids``
     fields are the interned equivalents the query phase works with.
+
+    ``index`` is the cluster's **stable id**, not its position in
+    ``EnvelopeAnalysis.clusters``: incremental maintenance retires the ids
+    of clusters a delta touched and mints fresh ones for replacements, so
+    the surviving ids (and everything keyed by them — signatures, cache
+    entries) stay meaningful across updates.  Look clusters up with
+    :meth:`EnvelopeAnalysis.cluster`, never by list position.
     """
 
     index: int
@@ -104,8 +111,25 @@ class EnvelopeAnalysis:
     # Interned ids of every fact of ``safe_chased`` (all lie in the chased
     # universe: the safe chase is a sub-chase of the full one).
     safe_ids: frozenset[int] = frozenset()
-    # fact -> indexes of clusters whose influence contains it.
+    # fact -> stable ids of clusters whose influence contains it.
     cluster_membership: dict[Fact, set[int]] = field(default_factory=dict)
+    # Next fresh stable cluster id (monotonic; never reused).
+    next_cluster_id: int = 0
+    _cluster_lookup: dict[int, ViolationCluster] | None = field(
+        default=None, init=False, repr=False
+    )
+
+    def cluster(self, cluster_id: int) -> ViolationCluster:
+        """The cluster with the given **stable id** (not list position)."""
+        lookup = self._cluster_lookup
+        if lookup is None:
+            lookup = {cluster.index: cluster for cluster in self.clusters}
+            self._cluster_lookup = lookup
+        return lookup[cluster_id]
+
+    def invalidate_cluster_lookup(self) -> None:
+        """Drop the memoized id → cluster map after mutating ``clusters``."""
+        self._cluster_lookup = None
 
     def signature(self, support_facts: set[Fact]) -> frozenset[int]:
         """The signature (§6.4) of a candidate given its support-set facts."""
@@ -173,6 +197,69 @@ def derivable_ids(seed_ids: set[int], data: ExchangeData) -> set[int]:
     return derived
 
 
+def build_cluster(
+    cluster_id: int,
+    violations: list[Violation],
+    violation_indexes: list[int],
+    closure_ids: set[int],
+    data: ExchangeData,
+) -> ViolationCluster:
+    """Assemble one :class:`ViolationCluster` from its members and closure.
+
+    Shared by the fresh analysis below and the incremental cluster
+    maintenance of :mod:`repro.incremental`, so both produce clusters with
+    identical derived fields (envelope, influence, fact-set mirrors).
+    """
+    facts_by_id = data.facts_by_id
+    source_mask = data.source_id_mask
+    envelope_ids = frozenset(
+        fact_id for fact_id in closure_ids if source_mask[fact_id]
+    )
+    cluster_influence_ids = frozenset(influence_ids(set(envelope_ids), data))
+    return ViolationCluster(
+        index=cluster_id,
+        violations=violations,
+        closure={facts_by_id[i] for i in closure_ids},
+        source_envelope={facts_by_id[i] for i in envelope_ids},
+        influence={facts_by_id[i] for i in cluster_influence_ids},
+        violation_indexes=violation_indexes,
+        closure_ids=frozenset(closure_ids),
+        source_envelope_ids=envelope_ids,
+        influence_ids=cluster_influence_ids,
+    )
+
+
+def cluster_violations(
+    violation_closures: list[set[int]], data: ExchangeData
+) -> list[list[int]]:
+    """Group violation positions whose support closures share a suspect
+    source fact (Prop. 5/6: the source restrictions of the closures are
+    repair envelopes; overlap means possible dependence).
+
+    ``violation_closures[i]`` is the support closure of the violation at
+    position ``i`` of the list being clustered (not necessarily
+    ``data.violations`` — the incremental path clusters a sub-pool).
+    Groups are returned sorted by member positions, matching the fresh
+    analysis's deterministic cluster order.
+    """
+    source_mask = data.source_id_mask
+    union_find = _UnionFind(len(violation_closures))
+    owner_of: dict[int, int] = {}
+    for index, closure in enumerate(violation_closures):
+        for fact_id in closure:
+            if not source_mask[fact_id]:
+                continue
+            previous = owner_of.get(fact_id)
+            if previous is None:
+                owner_of[fact_id] = index
+            else:
+                union_find.union(previous, index)
+    grouped: dict[int, list[int]] = {}
+    for index in range(len(violation_closures)):
+        grouped.setdefault(union_find.find(index), []).append(index)
+    return sorted(grouped.values())
+
+
 def analyze_envelopes(data: ExchangeData) -> EnvelopeAnalysis:
     """Run the exchange-phase analysis of Section 6 on exchange data."""
     facts_by_id = data.facts_by_id
@@ -191,47 +278,20 @@ def analyze_envelopes(data: ExchangeData) -> EnvelopeAnalysis:
     suspect_source = {facts_by_id[fact_id] for fact_id in suspect_ids}
     safe_source = data.source_facts - suspect_source
 
-    # Cluster violations that share a suspect source fact (Prop. 5/6: the
-    # source restrictions of the closures are repair envelopes; overlap
-    # means possible dependence).
-    union_find = _UnionFind(len(data.violations))
-    owner_of: dict[int, int] = {}
-    for index, closure in enumerate(violation_closures):
-        for fact_id in closure:
-            if not source_mask[fact_id]:
-                continue
-            previous = owner_of.get(fact_id)
-            if previous is None:
-                owner_of[fact_id] = index
-            else:
-                union_find.union(previous, index)
-
-    grouped: dict[int, list[int]] = {}
-    for index in range(len(data.violations)):
-        grouped.setdefault(union_find.find(index), []).append(index)
-
     clusters: list[ViolationCluster] = []
-    for cluster_index, member_indexes in enumerate(sorted(grouped.values())):
+    for cluster_index, member_indexes in enumerate(
+        cluster_violations(violation_closures, data)
+    ):
         closure_ids: set[int] = set()
         for violation_index in member_indexes:
             closure_ids |= violation_closures[violation_index]
-        envelope_ids = frozenset(
-            fact_id for fact_id in closure_ids if source_mask[fact_id]
-        )
-        cluster_influence_ids = frozenset(
-            influence_ids(set(envelope_ids), data)
-        )
         clusters.append(
-            ViolationCluster(
-                index=cluster_index,
-                violations=[data.violations[i] for i in member_indexes],
-                closure={facts_by_id[i] for i in closure_ids},
-                source_envelope={facts_by_id[i] for i in envelope_ids},
-                influence={facts_by_id[i] for i in cluster_influence_ids},
-                violation_indexes=list(member_indexes),
-                closure_ids=frozenset(closure_ids),
-                source_envelope_ids=envelope_ids,
-                influence_ids=cluster_influence_ids,
+            build_cluster(
+                cluster_index,
+                [data.violations[i] for i in member_indexes],
+                list(member_indexes),
+                closure_ids,
+                data,
             )
         )
 
@@ -253,6 +313,7 @@ def analyze_envelopes(data: ExchangeData) -> EnvelopeAnalysis:
         clusters=clusters,
         safe_chased=safe_chased,
         safe_ids=frozenset(safe_id_set),
+        next_cluster_id=len(clusters),
     )
     membership = analysis.cluster_membership
     for cluster in clusters:

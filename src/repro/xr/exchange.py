@@ -143,6 +143,16 @@ class ExchangeData:
             dict.fromkeys(self.intern_fact(f) for f in violation.body_facts)
         )
 
+    def update_session(self, analysis=None, cache=None, obs=None):
+        """An :class:`~repro.incremental.UpdateSession` over this data.
+
+        Convenience constructor; see :mod:`repro.incremental` for the
+        delta-chase and live cluster-maintenance machinery behind it.
+        """
+        from repro.incremental import UpdateSession
+
+        return UpdateSession(self, analysis=analysis, cache=cache, obs=obs)
+
     def influence_ids_of(self, fact_id: int) -> frozenset[int]:
         """Forward closure of one fact through support sets, memoized.
 
@@ -169,45 +179,69 @@ class ExchangeData:
         return result
 
 
+def violation_key(
+    violation: Violation,
+) -> tuple[str, frozenset[Fact], frozenset]:
+    """The canonical identity of a violation, independent of orientation.
+
+    Symmetric bindings of one grounded egd (swapping the roles of the two
+    offending values) describe the same violation; the key canonicalizes
+    them so both :func:`find_violations` and the incremental violation
+    maintenance of :mod:`repro.incremental` dedup identically.
+    """
+    if violation.egd.symmetric:
+        # Canonicalize the two orientations of a symmetric egd
+        # (e.g. EQ(a, b) vs EQ(b, a)) into one violation.
+        key_body = frozenset(
+            Fact(fact.relation, tuple(sorted(fact.args, key=repr)))
+            for fact in violation.body_facts
+        )
+    else:
+        key_body = frozenset(violation.body_facts)
+    return (
+        violation.egd.label,
+        key_body,
+        frozenset((violation.lhs_value, violation.rhs_value)),
+    )
+
+
+def grounded_egd_violation(
+    egd: EGD, binding: dict[Variable, object]
+) -> Violation | None:
+    """The violation of one grounded egd body, or None if it is satisfied.
+
+    For constants-only egds, only clashes between two distinct constants
+    count — skolem values stand for nulls, which the original chase would
+    simply unify.
+    """
+    lhs_value = binding[egd.lhs]
+    rhs_value = (
+        binding[egd.rhs] if isinstance(egd.rhs, Variable) else egd.rhs.value
+    )
+    if lhs_value == rhs_value:
+        return None
+    if egd.constants_only and not (
+        is_constant_value(lhs_value) and is_constant_value(rhs_value)
+    ):
+        return None
+    body_facts = tuple(atom.substitute(binding) for atom in egd.body)
+    return Violation(egd, body_facts, lhs_value, rhs_value)
+
+
 def find_violations(mapping: SchemaMapping, chased: Instance) -> list[Violation]:
     """All grounded-egd violations over the chased instance (Definition 5)."""
     violations: list[Violation] = []
-    # Symmetric bindings of one grounded egd (swapping the roles of the two
-    # offending values) describe the same violation: dedup on unordered keys.
     seen: set[tuple[str, frozenset[Fact], frozenset]] = set()
     for egd in mapping.target_egds:
         for binding in match_atoms(chased, list(egd.body)):
-            lhs_value = binding[egd.lhs]
-            rhs_value = (
-                binding[egd.rhs]
-                if isinstance(egd.rhs, Variable)
-                else egd.rhs.value
-            )
-            if lhs_value == rhs_value:
+            violation = grounded_egd_violation(egd, binding)
+            if violation is None:
                 continue
-            if egd.constants_only and not (
-                is_constant_value(lhs_value) and is_constant_value(rhs_value)
-            ):
-                continue
-            body_facts = tuple(atom.substitute(binding) for atom in egd.body)
-            if egd.symmetric:
-                # Canonicalize the two orientations of a symmetric egd
-                # (e.g. EQ(a, b) vs EQ(b, a)) into one violation.
-                key_body = frozenset(
-                    Fact(fact.relation, tuple(sorted(fact.args, key=repr)))
-                    for fact in body_facts
-                )
-            else:
-                key_body = frozenset(body_facts)
-            key = (
-                egd.label,
-                key_body,
-                frozenset((lhs_value, rhs_value)),
-            )
+            key = violation_key(violation)
             if key in seen:
                 continue
             seen.add(key)
-            violations.append(Violation(egd, body_facts, lhs_value, rhs_value))
+            violations.append(violation)
     return violations
 
 
@@ -293,18 +327,20 @@ def _build_fact_indexes(data: ExchangeData) -> None:
     occurs_in_body = data.occurs_in_body
     supports_of = data.supports_of
     occurs_in_body_of = data.occurs_in_body_of
+    # The fact-keyed views *alias* the id-keyed rows (same list objects),
+    # so the incremental mutators below keep both in sync with one write.
     for index, (_rule, body_facts, head_fact) in enumerate(data.groundings):
         head_id = intern(head_fact)
         body_ids = tuple(dict.fromkeys(intern(f) for f in body_facts))
         data.grounding_bodies.append(body_ids)
         data.grounding_heads.append(head_id)
         groundings_by_head[head_id].append(index)
-        supports_of.setdefault(head_fact, []).append(index)
+        supports_of[head_fact] = groundings_by_head[head_id]
         for body_id in body_ids:
             occurs_in_body[body_id].append(index)
-            occurs_in_body_of.setdefault(
-                data.facts_by_id[body_id], []
-            ).append(index)
+            occurs_in_body_of[data.facts_by_id[body_id]] = occurs_in_body[
+                body_id
+            ]
 
     violations_by_fact = data.violations_by_fact
     for index, violation in enumerate(data.violations):
@@ -314,3 +350,114 @@ def _build_fact_indexes(data: ExchangeData) -> None:
         data.violation_bodies.append(body_ids)
         for body_id in body_ids:
             violations_by_fact[body_id].append(index)
+
+
+def rebuild_fact_indexes(data: ExchangeData) -> None:
+    """Re-derive every adjacency index from the current fact-level state.
+
+    Used by :mod:`repro.incremental` after a delta mutates ``chased`` /
+    ``groundings`` / ``violations`` in place.  Fact ids are **stable**:
+    ``fact_ids`` / ``facts_by_id`` are kept (retracted facts keep their id
+    with empty adjacency rows), so every id-keyed artifact computed before
+    the delta — cluster envelopes, signatures, cache keys — remains
+    meaningful afterwards.  One linear pass over groundings + violations;
+    no joins are re-run.
+    """
+    for rows in (
+        data.groundings_by_head,
+        data.occurs_in_body,
+        data.violations_by_fact,
+    ):
+        for row in rows:
+            row.clear()
+    data.grounding_bodies.clear()
+    data.grounding_heads.clear()
+    data.violation_bodies.clear()
+    data.supports_of.clear()
+    data.occurs_in_body_of.clear()
+    data._influence_cache.clear()
+    _build_fact_indexes(data)
+
+
+def remove_groundings(data: ExchangeData, positions: set[int]) -> None:
+    """Remove groundings by position, maintaining every adjacency index.
+
+    Swap-remove: the hole left by a removed grounding is filled with the
+    list's last element, whose (single) position change is patched into
+    the per-fact rows — O(delta × row-size) instead of a full rebuild.
+    Grounding order is not meaningful (every consumer treats the list as
+    a set), so the reordering is invisible.  Positions are processed in
+    descending order, which keeps the swap source out of the removal set.
+    """
+    groundings = data.groundings
+    bodies = data.grounding_bodies
+    heads = data.grounding_heads
+    by_head = data.groundings_by_head
+    occurs = data.occurs_in_body
+    for index in sorted(positions, reverse=True):
+        by_head[heads[index]].remove(index)
+        for body_id in bodies[index]:
+            occurs[body_id].remove(index)
+        last = len(groundings) - 1
+        if index != last:
+            groundings[index] = groundings[last]
+            bodies[index] = bodies[last]
+            heads[index] = heads[last]
+            row = by_head[heads[index]]
+            row[row.index(last)] = index
+            for body_id in bodies[index]:
+                row = occurs[body_id]
+                row[row.index(last)] = index
+        groundings.pop()
+        bodies.pop()
+        heads.pop()
+
+
+def remove_violations(data: ExchangeData, positions: set[int]) -> None:
+    """Remove violations by position (swap-remove, as for groundings)."""
+    violations = data.violations
+    bodies = data.violation_bodies
+    by_fact = data.violations_by_fact
+    for index in sorted(positions, reverse=True):
+        for body_id in bodies[index]:
+            by_fact[body_id].remove(index)
+        last = len(violations) - 1
+        if index != last:
+            violations[index] = violations[last]
+            bodies[index] = bodies[last]
+            for body_id in bodies[index]:
+                row = by_fact[body_id]
+                row[row.index(last)] = index
+        violations.pop()
+        bodies.pop()
+
+
+def append_grounding(
+    data: ExchangeData, grounding: tuple[TGD, tuple[Fact, ...], Fact]
+) -> tuple[int, tuple[int, ...]]:
+    """Append one grounding, indexing it; returns ``(head_id, body_ids)``."""
+    _rule, body_facts, head_fact = grounding
+    index = len(data.groundings)
+    data.groundings.append(grounding)
+    head_id = data.intern_fact(head_fact)
+    body_ids = tuple(dict.fromkeys(data.intern_fact(f) for f in body_facts))
+    data.grounding_bodies.append(body_ids)
+    data.grounding_heads.append(head_id)
+    data.groundings_by_head[head_id].append(index)
+    data.supports_of[head_fact] = data.groundings_by_head[head_id]
+    for body_id in body_ids:
+        data.occurs_in_body[body_id].append(index)
+        data.occurs_in_body_of[data.facts_by_id[body_id]] = (
+            data.occurs_in_body[body_id]
+        )
+    return head_id, body_ids
+
+
+def append_violation(data: ExchangeData, violation: Violation) -> None:
+    """Append one violation, indexing its body facts."""
+    index = len(data.violations)
+    body_ids = data.violation_body_ids(violation)
+    data.violations.append(violation)
+    data.violation_bodies.append(body_ids)
+    for body_id in body_ids:
+        data.violations_by_fact[body_id].append(index)

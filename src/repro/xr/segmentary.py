@@ -287,6 +287,40 @@ class SegmentaryEngine:
             )
         return self.exchange_stats
 
+    def update_session(self):
+        """An :class:`~repro.incremental.UpdateSession` over this engine.
+
+        Runs the exchange phase if needed, then returns a session that
+        maintains this engine's exchange state (data, analysis, cache) in
+        place: after each applied delta the engine answers queries against
+        the updated instance without a from-scratch re-exchange.
+        """
+        self.exchange()
+        from repro.incremental import UpdateSession
+
+        assert self.data is not None
+        return UpdateSession(
+            self.data,
+            analysis=self.analysis,
+            cache=self.cache,
+            obs=self.obs,
+            engine=self,
+        )
+
+    def refresh_exchange_stats(self) -> None:
+        """Re-derive :attr:`exchange_stats` counts from the current state
+        (called by an update session after each delta; timings are kept)."""
+        if self.data is None or self.analysis is None:
+            return
+        stats = self.exchange_stats
+        stats.source_facts = len(self.instance)
+        stats.chased_facts = len(self.data.chased)
+        stats.groundings = len(self.data.groundings)
+        stats.violations = len(self.data.violations)
+        stats.clusters = len(self.analysis.clusters)
+        stats.suspect_source_facts = len(self.analysis.suspect_source)
+        stats.safe_source_facts = len(self.analysis.safe_source)
+
     # --------------------------------------------------------- query phase
 
     def answer(
@@ -613,7 +647,10 @@ class SegmentaryEngine:
                 accepted_so_far=group_accept,
             )
 
-        clusters = [analysis.clusters[index] for index in signature]
+        # Signatures hold *stable* cluster ids (incremental maintenance can
+        # retire/mint ids), so resolution goes through the id lookup rather
+        # than list position.
+        clusters = [analysis.cluster(index) for index in signature]
         focus_ids: set[int] = set()
         violations = []
         for cluster in clusters:

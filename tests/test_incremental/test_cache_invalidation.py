@@ -1,0 +1,148 @@
+"""Cache-invalidation edge cases under incremental updates.
+
+The signature-program cache keys entries by cluster-id sets; the update
+session retires the ids of clusters an update touched.  These tests pin
+the boundary cases: clusters merging under an insertion, a merged cluster
+splitting under retraction, retraction emptying a cluster, and the no-op
+delta — which must invalidate *nothing* and keep a warm engine's hit rate
+at 100%.
+"""
+
+from repro.incremental import Delta
+from repro.parser import parse_mapping, parse_query
+from repro.relational import Fact, Instance
+from repro.xr.segmentary import SegmentaryEngine
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+def bridge_mapping():
+    # B(x, y) derives into both keys at once, so one inserted B-fact can
+    # entangle two previously independent conflict clusters.
+    return parse_mapping(
+        """
+        SOURCE R/2, B/2.
+        TARGET P/2.
+        R(x, y) -> P(x, y).
+        B(x, y) -> P(x, y), P(y, x).
+        P(x, y), P(x, z) -> y = z.
+        """
+    )
+
+
+TWO_CONFLICTS = [
+    f("R", "a", "b"),
+    f("R", "a", "c"),
+    f("R", "d", "e"),
+    f("R", "d", "g"),
+]
+
+QUERY = parse_query("q(x, y) :- P(x, y).")
+
+
+def warm_engine(instance_facts):
+    """An engine with the exchange done and the cache warmed by a query."""
+    engine = SegmentaryEngine(bridge_mapping(), Instance(instance_facts))
+    engine.answer(QUERY)
+    assert len(engine.cache) > 0
+    return engine
+
+
+def reference_answers(instance_facts, mode="certain"):
+    with SegmentaryEngine(
+        bridge_mapping(), Instance(instance_facts)
+    ) as engine:
+        if mode == "possible":
+            return engine.possible_answers(QUERY)
+        return engine.answer(QUERY)
+
+
+class TestClusterMerge:
+    def test_insertion_merges_clusters_and_retires_both_ids(self):
+        engine = warm_engine(TWO_CONFLICTS)
+        session = engine.update_session()
+        old_ids = {c.index for c in engine.analysis.clusters}
+        assert len(old_ids) == 2
+        report = session.apply(Delta(inserts=frozenset({f("B", "a", "d")})))
+        assert len(engine.analysis.clusters) == 1
+        (merged,) = engine.analysis.clusters
+        assert merged.index not in old_ids
+        assert set(report.retired_cluster_ids) == old_ids
+        assert report.cache_invalidated > 0
+        updated = TWO_CONFLICTS + [f("B", "a", "d")]
+        assert engine.answer(QUERY) == reference_answers(updated)
+
+
+class TestClusterSplit:
+    def test_retraction_splits_merged_cluster(self):
+        merged_facts = TWO_CONFLICTS + [f("B", "a", "d")]
+        engine = warm_engine(merged_facts)
+        session = engine.update_session()
+        (merged,) = engine.analysis.clusters
+        report = session.apply(Delta(retracts=frozenset({f("B", "a", "d")})))
+        assert len(engine.analysis.clusters) == 2
+        assert merged.index in report.retired_cluster_ids
+        assert all(
+            c.index != merged.index for c in engine.analysis.clusters
+        )
+        assert engine.answer(QUERY) == reference_answers(TWO_CONFLICTS)
+
+
+class TestClusterEmptied:
+    def test_retraction_emptying_a_cluster_invalidates_its_entries(self):
+        engine = warm_engine(TWO_CONFLICTS)
+        session = engine.update_session()
+        before = len(engine.analysis.clusters)
+        report = session.apply(Delta(retracts=frozenset({f("R", "a", "c")})))
+        assert len(engine.analysis.clusters) == before - 1
+        assert report.clusters_retired >= 1
+        assert report.cache_invalidated > 0
+        remaining = [fact for fact in TWO_CONFLICTS if fact != f("R", "a", "c")]
+        assert engine.answer(QUERY) == reference_answers(remaining)
+
+    def test_unaffected_cluster_entries_survive(self):
+        engine = warm_engine(TWO_CONFLICTS)
+        session = engine.update_session()
+        # Kill the 'd' conflict; everything the query needs about the 'a'
+        # cluster is still cached, and the now-safe facts need no solving.
+        session.apply(Delta(retracts=frozenset({f("R", "d", "g")})))
+        answers = engine.answer(QUERY)
+        stats = engine.last_query_stats
+        assert stats.programs_solved == 0
+        remaining = [fact for fact in TWO_CONFLICTS if fact != f("R", "d", "g")]
+        assert answers == reference_answers(remaining)
+
+
+class TestNoopDelta:
+    def test_noop_invalidates_nothing_and_hit_rate_stays_full(self):
+        engine = warm_engine(TWO_CONFLICTS)
+        session = engine.update_session()
+        entries_before = len(engine.cache)
+        report = session.apply(
+            Delta(
+                inserts=frozenset({f("R", "a", "b")}),
+                retracts=frozenset({f("R", "z", "z")}),
+            )
+        )
+        assert report.noop
+        assert report.cache_invalidated == 0
+        assert len(engine.cache) == entries_before
+        warm = engine.answer(QUERY)
+        stats = engine.last_query_stats
+        assert stats.programs_solved == 0
+        assert stats.cache_hits > 0
+        assert warm == reference_answers(TWO_CONFLICTS)
+
+    def test_possible_answers_also_correct_after_updates(self):
+        engine = warm_engine(TWO_CONFLICTS)
+        session = engine.update_session()
+        session.apply(Delta(inserts=frozenset({f("B", "a", "d")})))
+        session.apply(Delta(retracts=frozenset({f("R", "a", "c")})))
+        updated = [
+            fact for fact in TWO_CONFLICTS if fact != f("R", "a", "c")
+        ] + [f("B", "a", "d")]
+        assert engine.possible_answers(QUERY) == reference_answers(
+            updated, mode="possible"
+        )

@@ -1,0 +1,99 @@
+"""Tests for source deltas and the textual update-stream format."""
+
+import pytest
+
+from repro.incremental import (
+    Delta,
+    apply_delta,
+    parse_update_stream,
+    render_update_stream,
+)
+from repro.relational import Fact, Instance
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+class TestDelta:
+    def test_apply_semantics(self):
+        instance = Instance([f("R", "a"), f("R", "b")])
+        delta = Delta(
+            inserts=frozenset({f("R", "c")}),
+            retracts=frozenset({f("R", "b")}),
+        )
+        assert set(apply_delta(instance, delta)) == {f("R", "a"), f("R", "c")}
+        # The original is untouched (reference semantics copies).
+        assert set(instance) == {f("R", "a"), f("R", "b")}
+
+    def test_normalized_drops_redundant_operations(self):
+        source = Instance([f("R", "a")])
+        delta = Delta(
+            inserts=frozenset({f("R", "a"), f("R", "b")}),
+            retracts=frozenset({f("R", "c")}),
+        )
+        effective = delta.normalized(source)
+        assert effective.inserts == frozenset({f("R", "b")})
+        assert effective.retracts == frozenset()
+
+    def test_normalized_insert_wins_over_retract(self):
+        source = Instance([f("R", "a")])
+        delta = Delta(
+            inserts=frozenset({f("R", "a")}),
+            retracts=frozenset({f("R", "a")}),
+        )
+        assert apply_delta(source, delta).__contains__(f("R", "a"))
+        assert delta.normalized(source).is_noop()
+
+    def test_inverted_restores_once_normalized(self):
+        source = Instance([f("R", "a"), f("R", "b")])
+        delta = Delta(
+            inserts=frozenset({f("R", "c")}),
+            retracts=frozenset({f("R", "b")}),
+        ).normalized(source)
+        updated = apply_delta(source, delta)
+        restored = apply_delta(updated, delta.inverted())
+        assert set(restored) == set(source)
+
+    def test_support_facts(self):
+        delta = Delta(
+            inserts=frozenset({f("R", "a")}),
+            retracts=frozenset({f("R", "b")}),
+        )
+        assert delta.support_facts() == frozenset({f("R", "a"), f("R", "b")})
+
+
+class TestStreamFormat:
+    def test_parse_steps_comments_and_blanks(self):
+        deltas = parse_update_stream(
+            """
+            % a comment
+            +R('a', 'b').
+            -S('c').   % trailing comment
+
+            +R('d', 'e').
+            """
+        )
+        assert len(deltas) == 2
+        assert deltas[0].inserts == frozenset({f("R", "a", "b")})
+        assert deltas[0].retracts == frozenset({f("S", "c")})
+        assert deltas[1] == Delta(inserts=frozenset({f("R", "d", "e")}))
+
+    def test_parse_rejects_unmarked_lines(self):
+        with pytest.raises(ValueError, match="must start with"):
+            parse_update_stream("R('a').")
+
+    def test_round_trip(self):
+        deltas = [
+            Delta(
+                inserts=frozenset({f("R", "a", "b"), f("R", "c", "d")}),
+                retracts=frozenset({f("S", "e")}),
+            ),
+            Delta(retracts=frozenset({f("R", "a", "b")})),
+        ]
+        assert parse_update_stream(render_update_stream(deltas)) == deltas
+
+    def test_render_skips_empty_steps(self):
+        deltas = [Delta(), Delta(inserts=frozenset({f("R", "a")}))]
+        rendered = render_update_stream(deltas)
+        assert parse_update_stream(rendered) == [deltas[1]]

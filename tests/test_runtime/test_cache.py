@@ -81,6 +81,97 @@ class TestCacheLayers:
         assert len(cache) == 0
 
 
+class TestBoundedLru:
+    def pk(self, n):
+        return program_key(frozenset({n}), "repair", "certain", [])
+
+    def test_rejects_zero_capacity(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="max_programs"):
+            SignatureProgramCache(max_programs=0)
+        with pytest.raises(ValueError, match="max_decisions"):
+            SignatureProgramCache(max_decisions=0)
+
+    def test_program_layer_evicts_least_recently_used(self):
+        cache = SignatureProgramCache(max_programs=2)
+        cache.store_program(self.pk(0), [f("q", "a")])
+        cache.store_program(self.pk(1), [f("q", "b")])
+        # Touch key 0 so key 1 becomes the LRU victim.
+        assert cache.lookup_program(self.pk(0)) is not None
+        cache.store_program(self.pk(2), [f("q", "c")])
+        assert cache.stats.program_evictions == 1
+        assert cache.lookup_program(self.pk(1)) is None
+        assert cache.lookup_program(self.pk(0)) == frozenset({f("q", "a")})
+        assert cache.lookup_program(self.pk(2)) == frozenset({f("q", "c")})
+
+    def test_decision_layer_evicts_least_recently_used(self):
+        cache = SignatureProgramCache(max_decisions=1)
+        k1 = decision_key([(f("R", "a", "b"),)], set())
+        k2 = decision_key([(f("R", "a", "c"),)], set())
+        cache.store_decision(frozenset({0}), "repair", "certain", k1, True)
+        cache.store_decision(frozenset({0}), "repair", "certain", k2, False)
+        assert cache.stats.decision_evictions == 1
+        assert (
+            cache.lookup_decision(frozenset({0}), "repair", "certain", k1)
+            is None
+        )
+        assert (
+            cache.lookup_decision(frozenset({0}), "repair", "certain", k2)
+            is False
+        )
+
+    def test_restore_refreshes_recency(self):
+        cache = SignatureProgramCache(max_programs=2)
+        cache.store_program(self.pk(0), [])
+        cache.store_program(self.pk(1), [])
+        cache.store_program(self.pk(0), [f("q", "z")])  # re-store: refresh
+        cache.store_program(self.pk(2), [])
+        assert cache.lookup_program(self.pk(1)) is None
+        assert cache.lookup_program(self.pk(0)) == frozenset({f("q", "z")})
+
+    def test_eviction_metrics_hook(self):
+        from repro.obs.metrics import Metrics
+
+        cache = SignatureProgramCache(max_programs=1, max_decisions=1)
+        cache.metrics = Metrics()
+        cache.store_program(self.pk(0), [])
+        cache.store_program(self.pk(1), [])
+        cache.store_decision(
+            frozenset({0}), "repair", "certain", decision_key([], set()), True
+        )
+        cache.store_decision(
+            frozenset({1}), "repair", "certain",
+            decision_key([(f("R", "a", "b"),)], set()), False,
+        )
+        counters = cache.metrics.counter_values()
+        assert counters["cache_program_evictions_total"] == 1
+        assert counters["cache_decision_evictions_total"] == 1
+
+    def test_answers_unchanged_at_capacity(self):
+        query_texts = [
+            "q(x) :- P(x, y).",
+            "r(x, y) :- P(x, y).",
+            "s(y) :- P(x, y).",
+        ]
+        unbounded = SegmentaryEngine(
+            key_mapping(), Instance(CONFLICT_INSTANCE)
+        )
+        expected = [
+            unbounded.answer(parse_query(text)) for text in query_texts
+        ]
+        tiny = SignatureProgramCache(max_programs=1, max_decisions=1)
+        bounded = SegmentaryEngine(
+            key_mapping(), Instance(CONFLICT_INSTANCE), cache=tiny
+        )
+        got = [bounded.answer(parse_query(text)) for text in query_texts]
+        assert got == expected
+        assert len(tiny) <= 2
+        assert (
+            tiny.stats.program_evictions + tiny.stats.decision_evictions > 0
+        )
+
+
 class TestEngineIntegration:
     def test_warm_repeat_skips_solving(self):
         engine = SegmentaryEngine(key_mapping(), Instance(CONFLICT_INSTANCE))
