@@ -5,6 +5,17 @@ analysis, non-chronological backjumping, VSIDS-style variable activities,
 Luby restarts, and phase saving.  Incremental: clauses may be added between
 ``solve`` calls, and ``solve`` accepts assumption literals.
 
+When a solve is unsatisfiable *under its assumptions*, final-conflict
+analysis (the ``analyzeFinal`` of MiniSat) walks the implication graph of
+the falsified assumption back to the assumptions it depends on and records
+that subset in :attr:`SatSolver.failed_assumptions` — the **failed core**.
+The core distinguishes "unsatisfiable because of these assumptions" (a
+non-empty core; dropping it restores satisfiability) from "the clause
+database itself is unsatisfiable" (an empty core, ``ok`` now False).
+Assumption-based callers — the family solver of
+:mod:`repro.asp.reasoning` — use the core to skip goals already refuted
+by learned clauses without a fresh search.
+
 Literals are non-zero integers: ``+v`` is the positive literal of variable
 ``v``, ``-v`` the negative one (variables are 1-based).  Internally a literal
 ``l`` is indexed as ``2*v + (1 if l < 0 else 0)``.
@@ -62,6 +73,11 @@ class SatSolver:
         # default) costs one attribute test per loop iteration.
         self.interrupt_check = None
         self._interrupt_tick = 0
+        # After an unsatisfiable ``solve(assumptions)``: the subset of the
+        # assumptions responsible (the failed core, in assumption order);
+        # [] when the clause database alone is unsatisfiable; None after a
+        # satisfiable solve (or before the first one).
+        self.failed_assumptions: list[int] | None = None
         # Lazy max-activity heap of decision candidates: (-activity, var).
         self._order: list[tuple[float, int]] = []
         if num_vars:
@@ -71,16 +87,18 @@ class SatSolver:
 
     def add_vars(self, count: int) -> None:
         """Grow the variable universe by ``count`` fresh variables."""
-        for _ in range(count):
-            self.num_vars += 1
-            self.assign.append(_UNASSIGNED)
-            self.level.append(0)
-            self.reason.append(None)
-            self.activity.append(0.0)
-            self.phase.append(0)
-            self.watches.append([])
-            self.watches.append([])
-            heapq.heappush(self._order, (0.0, self.num_vars))
+        if count <= 0:
+            return
+        first = self.num_vars + 1
+        self.num_vars += count
+        self.assign.extend([_UNASSIGNED] * count)
+        self.level.extend([0] * count)
+        self.reason.extend([None] * count)
+        self.activity.extend([0.0] * count)
+        self.phase.extend([0] * count)
+        self.watches.extend([] for _ in range(2 * count))
+        for var in range(first, self.num_vars + 1):
+            heapq.heappush(self._order, (0.0, var))
 
     def new_var(self) -> int:
         self.add_vars(1)
@@ -133,6 +151,122 @@ class SatSolver:
         self.clauses.append(clause)
         self._watch(clause)
         return True
+
+    def add_clauses(self, clause_iter: Iterable[Iterable[int]]) -> bool:
+        """Bulk clause loading: :meth:`add_clause` semantics, one backtrack.
+
+        Backtracks to level 0 once, streams the clauses through the same
+        level-0 simplification (tautology and duplicate removal, satisfied
+        clauses dropped, falsified literals stripped), but enqueues unit
+        clauses without propagating until the end — one propagation pass
+        settles the whole batch.  Deferring is sound because every literal
+        a pending unit assigns is already visible in ``assign`` (enqueue
+        writes it immediately), so later clauses in the batch still
+        simplify against it, and the final propagation restores the watch
+        invariant for every clause touched by the new units.
+
+        Returns False (and clears ``ok``) if the formula became
+        unsatisfiable.  This is the clause-construction fast path for the
+        compact generator encoding, where per-clause backtrack/propagate
+        bookkeeping dominated build time.
+        """
+        if not self.ok:
+            return False
+        self._backtrack(0)
+        assign = self.assign
+        level = self.level
+        num_vars = self.num_vars
+        for literals in clause_iter:
+            kept: list[int] = []
+            satisfied = False
+            for lit in literals:
+                var = lit if lit > 0 else -lit
+                if var > num_vars:
+                    raise ValueError(
+                        f"literal {lit} exceeds variable count {num_vars}"
+                    )
+                value = assign[var]
+                if value != _UNASSIGNED and level[var] == 0:
+                    if (value == 1) == (lit > 0):
+                        satisfied = True
+                        break
+                    continue  # falsified at top level: drop literal
+                kept.append(lit)
+            if satisfied:
+                continue
+            if len(kept) > 1:
+                # Tautology / duplicate-literal removal (rare; the common
+                # two-literal case avoids building a set).
+                if len(kept) == 2:
+                    if kept[0] == -kept[1]:
+                        continue
+                    if kept[0] == kept[1]:
+                        kept.pop()
+                else:
+                    seen: set[int] = set()
+                    unique: list[int] = []
+                    tautology = False
+                    for lit in kept:
+                        if -lit in seen:
+                            tautology = True
+                            break
+                        if lit not in seen:
+                            seen.add(lit)
+                            unique.append(lit)
+                    if tautology:
+                        continue
+                    kept = unique
+            if not kept:
+                self.ok = False
+                return False
+            if len(kept) == 1:
+                if not self._enqueue(kept[0], None):
+                    self.ok = False
+                    return False
+                continue
+            self.clauses.append(kept)
+            self.watches[_lit_index(-kept[0])].append(kept)
+            self.watches[_lit_index(-kept[1])].append(kept)
+        self.ok = self.ok and self.propagate() is None
+        return self.ok
+
+    def add_clauses_raw(self, clause_iter: Iterable[list[int]]) -> bool:
+        """Bulk clause loading without per-literal simplification.
+
+        The caller owns the invariants :meth:`add_clause` normally
+        enforces; violating them corrupts the watch scheme silently.
+        Each clause must:
+
+        - contain no duplicate literals and no tautological pair,
+        - mention no variable that was assigned before the call (variables
+          assigned *during* the batch by its own unit clauses are fine —
+          their watch lists are revisited by the final propagation),
+        - stay within the current variable universe.
+
+        The engine's compact generator qualifies: it emits structurally
+        clean clauses over fresh variables, with the handful of edge cases
+        (``true_var`` mentions, self-referential single-literal bodies)
+        filtered at construction.  Clause lists are adopted, not copied.
+        """
+        if not self.ok:
+            return False
+        clauses = self.clauses
+        watches = self.watches
+        for lits in clause_iter:
+            if len(lits) > 1:
+                clauses.append(lits)
+                first, second = lits[0], lits[1]
+                watches[_lit_index(-first)].append(lits)
+                watches[_lit_index(-second)].append(lits)
+            elif lits:
+                if not self._enqueue(lits[0], None):
+                    self.ok = False
+                    return False
+            else:
+                self.ok = False
+                return False
+        self.ok = self.propagate() is None
+        return self.ok
 
     def _watch(self, clause: list[int]) -> None:
         self.watches[_lit_index(-clause[0])].append(clause)
@@ -263,6 +397,50 @@ class SatSolver:
         learned[1], learned[max_pos] = learned[max_pos], learned[1]
         return learned, self.level[abs(learned[1])]
 
+    def _analyze_final(self, failed: int, assumptions: Sequence[int]) -> list[int]:
+        """The failed-assumption core: the subset of ``assumptions`` whose
+        conjunction the clause database refutes.
+
+        ``failed`` is an assumption found false during assumption
+        re-assertion (its negation is on the trail).  Walking the trail
+        backwards through the reason clauses of every marked variable
+        reaches exactly the decisions the falsification depends on — and
+        during the re-assertion scan every decision on the trail is an
+        earlier assumption (free decisions only happen once all
+        assumptions hold, and any backjump that unassigned an assumption
+        removed the later free decisions with it).
+        """
+        assumed = set(assumptions)
+        core = {failed}
+        if not self.trail_lim:
+            return [failed]  # falsified by top-level propagation alone
+        seen = [False] * (self.num_vars + 1)
+        seen[abs(failed)] = True
+        for position in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
+            lit = self.trail[position]
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            reason = self.reason[var]
+            if reason is None:
+                # A decision — an assumption (see docstring); record it.
+                if lit in assumed:
+                    core.add(lit)
+            else:
+                for clause_lit in reason:
+                    if clause_lit == lit:
+                        continue
+                    if self.level[abs(clause_lit)] > 0:
+                        seen[abs(clause_lit)] = True
+            seen[var] = False
+        # Report in assumption order (deduplicated) for deterministic
+        # consumers.
+        ordered: list[int] = []
+        for lit in assumptions:
+            if lit in core and lit not in ordered:
+                ordered.append(lit)
+        return ordered or [failed]
+
     def _backtrack(self, target_level: int) -> None:
         if len(self.trail_lim) <= target_level:
             return
@@ -324,14 +502,18 @@ class SatSolver:
 
         After True, :meth:`model` returns the satisfying assignment.  The
         solver state (learned clauses, activities, phases) persists across
-        calls; assumptions do not.
+        calls; assumptions do not.  After False,
+        :attr:`failed_assumptions` holds the failed-assumption core ([]
+        when the clause database is unsatisfiable outright).
         """
+        self.failed_assumptions = [] if not self.ok else None
         if not self.ok:
             return False
         self._backtrack(0)
         conflict = self.propagate()
         if conflict is not None:
             self.ok = False
+            self.failed_assumptions = []
             return False
 
         restart_count = 0
@@ -351,6 +533,7 @@ class SatSolver:
                 conflicts_here += 1
                 if len(self.trail_lim) == 0:
                     self.ok = False
+                    self.failed_assumptions = []
                     return False
                 # First-UIP analysis assumes the conflict clause contains a
                 # literal at the current decision level; if the conflict sits
@@ -358,6 +541,7 @@ class SatSolver:
                 conflict_level = max(self.level[abs(lit)] for lit in conflict)
                 if conflict_level == 0:
                     self.ok = False
+                    self.failed_assumptions = []
                     return False
                 if conflict_level < len(self.trail_lim):
                     self._backtrack(conflict_level)
@@ -370,6 +554,7 @@ class SatSolver:
                     self._watch(learned)
                 if not self._enqueue(learned[0], learned if len(learned) > 1 else None):
                     self.ok = False
+                    self.failed_assumptions = []
                     return False
                 self.var_inc /= self.var_decay
                 if conflicts_here >= conflict_budget:
@@ -385,7 +570,15 @@ class SatSolver:
             for assumption in assumptions:
                 value = self.value_of(assumption)
                 if value == 0:
-                    return False  # assumption conflicts with forced literals
+                    # Assumption conflicts with forced literals: compute the
+                    # failed core (the subset of assumptions responsible) via
+                    # MiniSat-style final-conflict analysis so callers can
+                    # skip other candidate sets sharing that core.  The
+                    # clause database itself stays satisfiable (ok holds).
+                    self.failed_assumptions = self._analyze_final(
+                        assumption, assumptions
+                    )
+                    return False
                 if value == _UNASSIGNED:
                     decision = assumption
                     break
@@ -403,6 +596,30 @@ class SatSolver:
         Index 0 is unused; ``model()[v]`` is the value of variable ``v``.
         """
         return [value == 1 for value in self.assign]
+
+    def top_level_value(self, lit: int) -> int:
+        """The literal's value under top-level propagation alone.
+
+        1 true, 0 false, -1 when the clause database does not force it
+        at decision level 0.  Restores the solver to level 0 (cheap when
+        already there) and completes pending unit propagation first, so
+        the answer reflects every clause added so far.  Sound for *all*
+        models of the database — which overapproximate the stable models
+        when the database is a generator encoding.
+        """
+        if not self.ok:
+            return _UNASSIGNED
+        self._backtrack(0)
+        if self.propagate() is not None:
+            self.ok = False
+            self.failed_assumptions = []
+            return _UNASSIGNED
+        var = abs(lit)
+        if var > self.num_vars or self.assign[var] == _UNASSIGNED:
+            return _UNASSIGNED
+        if self.level[var] != 0:
+            return _UNASSIGNED
+        return self.value_of(lit)
 
     @property
     def statistics(self) -> dict[str, int]:

@@ -10,7 +10,11 @@ Three measured stages, per genomics scenario (size × suspect rate):
   phase (``QueryPhaseStats.build_seconds`` over a fixed query subset,
   caches disabled so construction is actually exercised);
 - **solve** — stable-model solving of the built programs
-  (``QueryPhaseStats.solve_seconds``);
+  (``QueryPhaseStats.solve_seconds``), measured under **both** solve
+  strategies: the default incremental family path and the legacy
+  per-signature reference path, with the per-strategy medians and their
+  ratio emitted as the ``solve_strategy_s`` series (the PR 8 solve-phase
+  trajectory; ``repro bench --ab solve`` is the focused harness);
 - **incremental** — one single-tuple delta (retract + re-insert of a
   suspect source fact, the cluster-touching worst case) applied through
   :class:`~repro.incremental.UpdateSession`, against the full re-exchange
@@ -153,6 +157,28 @@ def run_micro_scenario(
         engine.close()
         query_runs.append(run)
 
+    # Solve-strategy series (PR 8): re-run the query phase under the
+    # legacy per-signature strategy so every BENCH_*.json artifact carries
+    # the per-strategy solve comparison.  The loop above measured the
+    # default (incremental) strategy; answers must agree exactly.
+    legacy_solve_runs: list[float] = []
+    for _ in range(max(1, repeats)):
+        engine = SegmentaryEngine(
+            reduced, instance, cache=False, obs=obs,
+            solve_strategy="per-signature",
+        )
+        engine.data = data
+        engine.analysis = analysis
+        legacy_solve = 0.0
+        for query_name in queries:
+            result, stats = engine.answer_with_stats(query_by_name(query_name))
+            assert len(result) == answers[query_name], (
+                f"solve-strategy answer mismatch on {name}/{query_name}"
+            )
+            legacy_solve += stats.solve_seconds
+        engine.close()
+        legacy_solve_runs.append(legacy_solve)
+
     exchange_medians = {
         key: _median([run.get(key, 0.0) for run in exchange_runs])
         for key in ("chase", "groundings", "violations", "index",
@@ -161,6 +187,17 @@ def run_micro_scenario(
     query_medians = {
         key: _median([run[key] for run in query_runs])
         for key in ("program_build", "solve", "query_total")
+    }
+    incremental_solve = query_medians["solve"]
+    per_signature_solve = _median(legacy_solve_runs)
+    solve_strategies = {
+        "incremental": round(incremental_solve, 6),
+        "per_signature": round(per_signature_solve, 6),
+        "speedup": (
+            round(per_signature_solve / incremental_solve, 2)
+            if incremental_solve > 0
+            else float("inf")
+        ),
     }
 
     # Incremental stage: a fresh engine + update session per repeat (the
@@ -201,6 +238,7 @@ def run_micro_scenario(
         "counts": counts,
         "exchange_s": exchange_medians,
         "query_s": query_medians,
+        "solve_strategy_s": solve_strategies,
         "incremental_s": incremental,
         "programs_solved": programs_solved,
         "answers": answers,
@@ -245,6 +283,7 @@ def format_micro_table(payload: dict) -> str:
     rows = []
     for name, row in payload["scenarios"].items():
         incremental = row.get("incremental_s")  # absent in pre-PR7 payloads
+        strategies = row.get("solve_strategy_s")  # absent in pre-PR8 payloads
         rows.append(
             [
                 name,
@@ -254,13 +293,15 @@ def format_micro_table(payload: dict) -> str:
                 f"{row['exchange_s']['total']:.3f}",
                 f"{row['query_s']['program_build']:.3f}",
                 f"{row['query_s']['solve']:.3f}",
+                f"{strategies['speedup']:.1f}x" if strategies else "-",
                 f"{incremental['single_delta']:.4f}" if incremental else "-",
                 f"{incremental['speedup']:.1f}x" if incremental else "-",
             ]
         )
     return format_table(
         ["scenario", "facts", "groundings", "suspects",
-         "exchange[s]", "build[s]", "solve[s]", "1-delta[s]", "incr"],
+         "exchange[s]", "build[s]", "solve[s]", "strategy",
+         "1-delta[s]", "incr"],
         rows,
         title=f"micro-benchmark medians over {payload['repeats']} repeat(s)",
     )

@@ -111,7 +111,8 @@ def _command_answer(arguments) -> int:
         unknown = engine.last_stats.unknown_candidates
     else:
         with SegmentaryEngine(
-            mapping, instance, jobs=arguments.jobs, budget=budget, obs=obs
+            mapping, instance, jobs=arguments.jobs, budget=budget, obs=obs,
+            solve_strategy=arguments.solve_strategy,
         ) as engine:
             if updates is not None:
                 session = engine.update_session()
@@ -253,9 +254,31 @@ def _command_bench(arguments) -> int:
     )
     from repro.bench.reporting import print_flush, write_benchmark_json
 
+    if arguments.ab:
+        from repro.bench.ab import AB_QUERIES, format_ab_table, run_solve_ab
+
+        scenarios = (
+            arguments.scenarios.split(",") if arguments.scenarios else None
+        )
+        queries = (
+            tuple(arguments.queries.split(",")) if arguments.queries
+            else AB_QUERIES
+        )
+        payload = run_solve_ab(
+            scenarios=scenarios,
+            repeats=arguments.repeats,
+            queries=queries,
+            log=print_flush,
+        )
+        print(format_ab_table(payload))
+        if arguments.json:
+            path = write_benchmark_json(arguments.json, payload)
+            print(f"% artifact written to {path}")
+        return 0
     if not arguments.micro:
-        print("nothing to do: pass --micro (paper-style tables live in "
-              "benchmarks/, run them with pytest)", file=sys.stderr)
+        print("nothing to do: pass --micro or --ab solve (paper-style "
+              "tables live in benchmarks/, run them with pytest)",
+              file=sys.stderr)
         return 2
     scenarios = arguments.scenarios.split(",") if arguments.scenarios else None
     queries = (
@@ -319,6 +342,14 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for signature solving "
                         "(segmentary method only; default 1 = in-process)")
+    answer.add_argument("--solve-strategy",
+                        choices=("per-signature", "incremental"),
+                        default="incremental",
+                        help="query-phase solve strategy (segmentary "
+                        "method only): 'incremental' (default) decides "
+                        "each cluster family on one shared solver with "
+                        "learned-clause reuse; 'per-signature' is the "
+                        "legacy one-engine-per-signature reference path")
     answer.add_argument("--deadline", type=float, default=None,
                         metavar="SECONDS",
                         help="wall-clock budget for the whole query; on "
@@ -385,6 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--micro", action="store_true",
                        help="run the exchange/program-build/solve "
                        "micro-benchmark grid")
+    bench.add_argument("--ab", choices=("solve",), metavar="solve",
+                       help="A/B the per-signature vs incremental solve "
+                       "strategies under identical artifacts/budgets "
+                       "(answers cross-checked; default grid M10,M20,"
+                       "L10,L20 over ep2,xr2)")
     bench.add_argument("--scenarios", metavar="S0,M9,...",
                        help="comma-separated scenario names (size letter + "
                        "suspect percent; default: S/M/L × 0/3/9/20)")

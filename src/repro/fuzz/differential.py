@@ -23,8 +23,11 @@ configuration and collects *discrepancies*:
 - **crash** — an engine raised.
 
 Engine matrix for the segmentary engine: SequentialExecutor vs a shared
-ParallelExecutor (``jobs`` ∈ {1, N}), cache cold vs warm vs disabled.
-All knobs are answer-neutral by design; the fuzzer is the enforcement.
+ParallelExecutor (``jobs`` ∈ {1, N}), cache cold vs warm vs disabled, and
+the incremental family strategy (the default, exercised by every axis
+above) vs the legacy per-signature strategy (``solve_strategy=
+"per-signature"``, certain and possible).  All knobs are answer-neutral
+by design; the fuzzer is the enforcement.
 
 Two difficulty gates keep worst-case scenarios from stalling a campaign:
 the Definition 1 oracle only runs up to ``oracle_max_facts`` source facts
@@ -205,6 +208,25 @@ def run_differential(
 
     with SegmentaryEngine(mapping, instance, cache=False) as nocache:
         run("segmentary-nocache", "certain", lambda: nocache.answer(query))
+
+    # The strategy axis: every segmentary run above uses the default
+    # incremental family path; this one forces the legacy per-signature
+    # path, so the two solve strategies are differentially compared on
+    # every scenario (certain and possible).
+    with SegmentaryEngine(
+        mapping, instance, cache=False, solve_strategy="per-signature"
+    ) as legacy:
+        run(
+            "segmentary-per-signature",
+            "certain",
+            lambda: legacy.answer(query),
+        )
+        if config.check_possible:
+            run(
+                "segmentary-per-signature-possible",
+                "possible",
+                lambda: legacy.possible_answers(query),
+            )
 
     if config.check_parallel:
         # The engine does not own the shared executor, so closing the

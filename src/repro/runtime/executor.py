@@ -49,7 +49,11 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
-from repro.asp.reasoning import brave_consequences, cautious_consequences
+from repro.asp.reasoning import (
+    brave_consequences,
+    cautious_consequences,
+    decide_family,
+)
 from repro.asp.stable import StableModelEngine
 from repro.asp.syntax import GroundProgram, GroundRule
 from repro.obs.metrics import Metrics
@@ -109,6 +113,14 @@ class SolveTask:
     asks the worker to record a ``solve.task`` span (with the solver's
     search statistics as span counters) and ship it back as plain data on
     the outcome — answer-neutral, off by default.
+
+    ``family`` switches the worker to the incremental family path
+    (:func:`repro.asp.reasoning.decide_family`): all query atoms are
+    decided on one engine with shared learned clauses, and a budget cutoff
+    degrades per-candidate — the outcome then carries the exact verdicts
+    reached before the interrupt plus the ``undecided`` remainder, instead
+    of abandoning the whole batch.  A family is one task precisely so
+    clause reuse survives process-pool dispatch.
     """
 
     program: PackedProgram
@@ -116,6 +128,7 @@ class SolveTask:
     mode: str = "certain"
     budget: SolveBudget = NO_BUDGET
     trace: bool = False
+    family: bool = False
 
 
 @dataclass
@@ -130,6 +143,13 @@ class SolveOutcome:
     is the worker's serialized ``solve.task`` span tree when the task
     asked for one (``SolveTask.trace``) — the result channel doubles as
     the trace channel, so process-pool solves stay observable.
+
+    Family tasks add per-candidate fields: ``rejected`` mirrors
+    ``decided`` with the atoms proven *not* to hold, and ``undecided``
+    lists atoms the budget cut off before a verdict.  A family timeout
+    with ``decided is not None`` is a *partial* outcome — its decided and
+    rejected verdicts are exact and usable; only ``undecided`` degrades
+    to unknown.  Legacy (per-signature) timeouts keep ``decided=None``.
     """
 
     decided: frozenset[int] | None  # None: no stable model (status "ok")
@@ -138,6 +158,8 @@ class SolveOutcome:
     status: str = "ok"
     attempts: int = 1
     span: dict | None = None
+    rejected: frozenset[int] | None = None
+    undecided: frozenset[int] = frozenset()
 
     @property
     def ok(self) -> bool:
@@ -166,10 +188,42 @@ def solve_task(task: SolveTask, deadline_at: float | None = None) -> SolveOutcom
     status = "ok"
     engine: StableModelEngine | None = None
     decided: frozenset[int] | None = None
+    rejected: frozenset[int] | None = None
+    undecided: frozenset[int] = frozenset()
+    solve_stats: dict[str, int] | None = None
 
     def _solve() -> None:
-        nonlocal engine, decided
-        engine = StableModelEngine(task.program, deadline=deadline)
+        nonlocal engine, decided, rejected, undecided, status, solve_stats
+        # Family engines use the compact generator: one engine serves many
+        # candidates, so the leaner encoding and its precomputed reduct
+        # scaffold amortize.  The per-signature path keeps the plain
+        # encoding — it is the reference implementation the differential
+        # fuzzer compares against.
+        engine = StableModelEngine(
+            task.program, deadline=deadline, compact=task.family
+        )
+        if task.family:
+            verdicts = decide_family(
+                task.program,
+                task.query_atom_ids,
+                mode="cautious" if task.mode == "certain" else "possible",
+                engine=engine,
+                deadline=deadline,
+            )
+            # The family stats superset the solver's own counters with
+            # core_skips / family_models — shipped home as solver_stats.
+            solve_stats = dict(verdicts.stats)
+            if verdicts.no_model:
+                decided = None  # same signal as the per-signature path
+                return
+            decided = verdicts.accepted
+            rejected = verdicts.rejected
+            undecided = verdicts.undecided
+            if undecided:
+                # The budget fired mid-family; the verdicts reached are
+                # exact and ride along — per-candidate degradation.
+                status = "timeout"
+            return
         reason = (
             cautious_consequences if task.mode == "certain" else brave_consequences
         )
@@ -191,6 +245,8 @@ def solve_task(task: SolveTask, deadline_at: float | None = None) -> SolveOutcom
                 _solve()
     except SolveBudgetExceeded:
         status = "timeout"
+        decided = rejected = None
+        undecided = frozenset()
     seconds = time.perf_counter() - started
 
     span_payload: dict | None = None
@@ -204,7 +260,7 @@ def solve_task(task: SolveTask, deadline_at: float | None = None) -> SolveOutcom
                     root.count(key, value)
             span_payload = root.to_dict()
 
-    if status != "ok":
+    if status != "ok" and decided is None:
         return SolveOutcome(
             decided=None, seconds=seconds, status=status, span=span_payload
         )
@@ -212,8 +268,13 @@ def solve_task(task: SolveTask, deadline_at: float | None = None) -> SolveOutcom
     return SolveOutcome(
         decided=decided,
         seconds=seconds,
-        solver_stats=dict(engine.statistics),
+        solver_stats=(
+            dict(engine.statistics) if solve_stats is None else solve_stats
+        ),
+        status=status,
         span=span_payload,
+        rejected=rejected,
+        undecided=undecided,
     )
 
 

@@ -497,6 +497,45 @@ ENCODINGS = {
 }
 
 
+def build_family_program(
+    data: ExchangeData,
+    query_groundings: list[tuple[Fact, tuple[Fact, ...]]],
+    clusters: Iterable,
+    safe_ids: set[int] | frozenset[int],
+    encoding: str = "repair",
+    builder=None,
+) -> XRProgram:
+    """One shared ground program for a whole cluster *family*.
+
+    A family is a set of signature groups whose signatures overlap on
+    violation clusters; ``clusters`` is the union of those clusters
+    (:class:`~repro.xr.envelope.ViolationCluster` instances, deduplicated
+    by the caller).  The program is the ordinary XR encoding over the
+    union focus — sound because clusters are pairwise independent
+    (Definition 8): restricting a stable model of the union program to
+    one member signature's focus yields exactly a stable model of that
+    member's per-signature program, so cautious/brave verdicts of the
+    query atoms coincide.  All candidates of the family then share one
+    solver, and everything it learns transfers across them.
+    """
+    focus_ids: set[int] = set()
+    violations: list[Violation] = []
+    for cluster in clusters:
+        focus_ids |= cluster.influence_ids
+        violations.extend(cluster.violations)
+    focus_ids -= set(safe_ids)
+    if builder is None:
+        builder = build_xr_program
+    return builder(
+        data,
+        query_groundings=query_groundings,
+        violations=violations,
+        encoding=encoding,
+        focus_ids=focus_ids,
+        safe_ids=safe_ids,
+    )
+
+
 def build_xr_program(
     data: ExchangeData,
     query_groundings: list[tuple[Fact, tuple[Fact, ...]]] | None = None,

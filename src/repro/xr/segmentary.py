@@ -46,7 +46,11 @@ from repro.runtime.executor import (
 )
 from repro.xr.envelope import EnvelopeAnalysis, analyze_envelopes
 from repro.xr.exchange import ExchangeData, build_exchange_data
-from repro.xr.program import XRProgram, build_xr_program
+from repro.xr.program import (
+    XRProgram,
+    build_family_program,
+    build_xr_program,
+)
 from repro.xr.queries import answers_from_facts, ground_query
 
 
@@ -93,6 +97,16 @@ class QueryPhaseStats:
     retries: int = 0
     degraded: bool = False
     unknown_candidates: set[tuple] = field(default_factory=set)
+    # Incremental solve-strategy observability: which strategy ran, how
+    # many cluster families were solved, how many candidates those
+    # families covered, level-0 assumption-core skips (candidates decided
+    # without search), and clauses carried across candidates (learned
+    # clauses + loop formulas + steering, summed over family engines).
+    strategy: str = "per-signature"
+    families_solved: int = 0
+    family_candidates: int = 0
+    core_skips: int = 0
+    carried_clauses: int = 0
 
     def copy(self) -> "QueryPhaseStats":
         """An independent deep copy (no shared mutable containers).
@@ -142,6 +156,10 @@ class _SignatureGroup:
     # Group candidates already accepted before solving: program-cache hits,
     # memo hits, trivially-certain candidates.
     accepted_so_far: set[Fact]
+    # Candidates the caches could not decide.  Under the incremental
+    # strategy the per-signature program is *not* built — these ride into
+    # the family program instead, and ``solve_atoms`` is filled in then.
+    unresolved: list[Fact] = field(default_factory=list)
 
 
 class SegmentaryEngine:
@@ -161,7 +179,14 @@ class SegmentaryEngine:
       :class:`~repro.runtime.SignatureProgramCache` instance to share one,
       or ``False`` to disable caching;
     - ``parallel_threshold``: batches smaller than this solve in-process
-      even when ``jobs > 1``.
+      even when ``jobs > 1``;
+    - ``solve_strategy``: ``"incremental"`` (default) merges signature
+      groups into cluster families and decides each family's candidates
+      on one solver with shared learned clauses
+      (:func:`~repro.asp.reasoning.decide_family`); ``"per-signature"``
+      builds and solves a fresh program per signature group (the pre-PR 8
+      behavior).  Both return identical answers; the caches are keyed per
+      signature in both, so entries are shared across strategies.
 
     Resource governance (``budget``, a :class:`~repro.runtime.SolveBudget`)
     is the one knob that can change *what* is answered: a signature group
@@ -191,6 +216,7 @@ class SegmentaryEngine:
         parallel_threshold: int = 2,
         budget: SolveBudget | None = None,
         obs: Recorder | None = None,
+        solve_strategy: str = "incremental",
     ):
         if isinstance(mapping, ReducedMapping):
             self.reduced = mapping
@@ -198,6 +224,13 @@ class SegmentaryEngine:
             self.reduced = reduce_mapping(mapping)
         self.instance = instance
         self.encoding = encoding
+        solve_strategy = solve_strategy.replace("_", "-")
+        if solve_strategy not in ("incremental", "per-signature"):
+            raise ValueError(
+                f"unknown solve strategy {solve_strategy!r}; choose "
+                "'incremental' or 'per-signature'"
+            )
+        self.solve_strategy = solve_strategy
         self.jobs = jobs
         self.budget = budget if budget is not None else NO_BUDGET
         self.obs = obs if obs is not None else NOOP_RECORDER
@@ -377,7 +410,10 @@ class SegmentaryEngine:
         assert self.data is not None and self.analysis is not None
         started = time.perf_counter()
         data, analysis = self.data, self.analysis
-        stats = QueryPhaseStats(executor=self.executor.name)
+        incremental = self.solve_strategy == "incremental"
+        stats = QueryPhaseStats(
+            executor=self.executor.name, strategy=self.solve_strategy
+        )
         clock = self.budget.started()  # None unless a deadline is set
         unknown: set[Fact] = set()
         tracer, metrics = self.obs.tracer, self.obs.metrics
@@ -424,6 +460,7 @@ class SegmentaryEngine:
             # pairwise independent, so any execution order or interleaving
             # is valid).
             pending: list[_SignatureGroup] = []
+            family_batches: list[list[_SignatureGroup]] = []
             tasks: list[SolveTask] = []
             build_started = time.perf_counter()
             with tracer.span("query.build"):
@@ -442,7 +479,7 @@ class SegmentaryEngine:
                         continue
                     group = self._resolve_group(
                         signature, candidates, supports_by_candidate,
-                        safe_facts, mode, stats,
+                        safe_facts, mode, stats, build=not incremental,
                     )
                     accepted |= group.accepted_so_far
                     # Trivially-certain candidates are folded in *before*
@@ -450,6 +487,12 @@ class SegmentaryEngine:
                     # invariant (trivially_certain ⊆ query_atoms) ever
                     # loosens, they can never be dropped.
                     accepted |= group.xr_program.trivially_certain
+                    if incremental:
+                        if group.unresolved:
+                            pending.append(group)
+                        else:
+                            self._finalize_group(group, set(), mode)
+                        continue
                     if group.solve_atoms:
                         pending.append(group)
                         tasks.append(
@@ -467,56 +510,30 @@ class SegmentaryEngine:
                         )
                     else:
                         self._finalize_group(group, set(), mode)
+                if incremental and pending:
+                    family_batches, tasks = self._assemble_families(
+                        pending, supports_by_candidate, mode, stats,
+                        accepted, unknown, clock, allow_partial,
+                        trace=tracer.enabled,
+                    )
             stats.build_seconds = time.perf_counter() - build_started
 
             if tasks:
                 with tracer.span("query.solve"):
                     outcomes = self.executor.run(tasks, deadline=clock)
                     stats.executor = self.executor.last_dispatch
-                    for group, outcome in zip(pending, outcomes):
-                        stats.retries += max(0, outcome.attempts - 1)
-                        if outcome.span is not None:
-                            # Worker span trees ride the result channel
-                            # home; reattached here under query.solve with
-                            # a remote-clock marker.
-                            tracer.attach(outcome.span)
-                        if not outcome.ok:
-                            # This group's solve was cut off (deadline,
-                            # per-task timeout, or a crashed worker out of
-                            # retries): its candidates are *unknown*.
-                            # Nothing is cached — an unknown is a budget
-                            # artifact, not a verdict.
-                            if not allow_partial:
-                                raise SolveBudgetExceeded(
-                                    f"signature solve {outcome.status}: "
-                                    f"{len(group.solve_atoms)} candidate(s) "
-                                    "undecided"
-                                )
-                            stats.timeouts += 1
-                            unknown.update(group.solve_atoms)
-                            continue
-                        if outcome.decided is None:
-                            raise RuntimeError(
-                                "a signature program has no stable model"
-                            )
-                        stats.programs_solved += 1
-                        stats.program_seconds.append(outcome.seconds)
-                        stats.solve_seconds += outcome.seconds
-                        if metrics.enabled:
-                            metrics.histogram(
-                                "solve_seconds", DEFAULT_TIME_BUCKETS
-                            ).observe(outcome.seconds)
-                        for key, value in outcome.solver_stats.items():
-                            stats.solver_stats[key] = (
-                                stats.solver_stats.get(key, 0) + value
-                            )
-                        newly = {
-                            fact
-                            for fact, atom_id in group.solve_atoms.items()
-                            if atom_id in outcome.decided
-                        }
-                        accepted |= newly
-                        self._finalize_group(group, newly, mode)
+                    if incremental:
+                        self._handle_family_outcomes(
+                            family_batches, outcomes, mode, stats,
+                            accepted, unknown, allow_partial,
+                            tracer, metrics,
+                        )
+                    else:
+                        self._handle_signature_outcomes(
+                            pending, outcomes, mode, stats,
+                            accepted, unknown, allow_partial,
+                            tracer, metrics,
+                        )
 
             if unknown:
                 stats.degraded = True
@@ -539,6 +556,144 @@ class SegmentaryEngine:
         self._last_query_stats = stats.copy()
         return answers_from_facts(accepted), stats
 
+    def _handle_signature_outcomes(
+        self,
+        pending: list[_SignatureGroup],
+        outcomes,
+        mode: str,
+        stats: QueryPhaseStats,
+        accepted: set[Fact],
+        unknown: set[Fact],
+        allow_partial: bool,
+        tracer,
+        metrics,
+    ) -> None:
+        """Fold per-signature solve outcomes into the answer state."""
+        for group, outcome in zip(pending, outcomes):
+            stats.retries += max(0, outcome.attempts - 1)
+            if outcome.span is not None:
+                # Worker span trees ride the result channel home;
+                # reattached here under query.solve with a remote-clock
+                # marker.
+                tracer.attach(outcome.span)
+            if not outcome.ok:
+                # This group's solve was cut off (deadline, per-task
+                # timeout, or a crashed worker out of retries): its
+                # candidates are *unknown*.  Nothing is cached — an
+                # unknown is a budget artifact, not a verdict.
+                if not allow_partial:
+                    raise SolveBudgetExceeded(
+                        f"signature solve {outcome.status}: "
+                        f"{len(group.solve_atoms)} candidate(s) undecided"
+                    )
+                stats.timeouts += 1
+                unknown.update(group.solve_atoms)
+                continue
+            if outcome.decided is None:
+                raise RuntimeError("a signature program has no stable model")
+            stats.programs_solved += 1
+            stats.program_seconds.append(outcome.seconds)
+            stats.solve_seconds += outcome.seconds
+            if metrics.enabled:
+                metrics.histogram(
+                    "solve_seconds", DEFAULT_TIME_BUCKETS
+                ).observe(outcome.seconds)
+            for key, value in outcome.solver_stats.items():
+                stats.solver_stats[key] = (
+                    stats.solver_stats.get(key, 0) + value
+                )
+            newly = {
+                fact
+                for fact, atom_id in group.solve_atoms.items()
+                if atom_id in outcome.decided
+            }
+            accepted |= newly
+            self._finalize_group(group, newly, mode)
+
+    def _handle_family_outcomes(
+        self,
+        family_batches: list[list[_SignatureGroup]],
+        outcomes,
+        mode: str,
+        stats: QueryPhaseStats,
+        accepted: set[Fact],
+        unknown: set[Fact],
+        allow_partial: bool,
+        tracer,
+        metrics,
+    ) -> None:
+        """Fold family solve outcomes into the answer state.
+
+        A family outcome may be *partial* (``status="timeout"`` with
+        verdicts attached): every decided candidate keeps its exact
+        verdict, only the ``undecided`` remainder degrades to unknown —
+        and a member group is cached only when every one of its
+        candidates got a verdict, so the caches never hold half-truths.
+        """
+        for members, outcome in zip(family_batches, outcomes):
+            stats.retries += max(0, outcome.attempts - 1)
+            if outcome.span is not None:
+                tracer.attach(outcome.span)
+            family_size = sum(len(m.solve_atoms) for m in members)
+            if not outcome.ok and outcome.decided is None:
+                # Hard cutoff before any verdict (batch deadline, crash
+                # out of retries): the whole family is unknown.
+                if not allow_partial:
+                    raise SolveBudgetExceeded(
+                        f"family solve {outcome.status}: "
+                        f"{family_size} candidate(s) undecided"
+                    )
+                stats.timeouts += 1
+                for member in members:
+                    unknown.update(member.solve_atoms)
+                continue
+            if outcome.decided is None:
+                raise RuntimeError("a family program has no stable model")
+            if outcome.undecided and not allow_partial:
+                raise SolveBudgetExceeded(
+                    f"family solve {outcome.status}: "
+                    f"{len(outcome.undecided)} of {family_size} "
+                    "candidate(s) undecided"
+                )
+            stats.programs_solved += 1
+            stats.families_solved += 1
+            stats.family_candidates += family_size
+            stats.program_seconds.append(outcome.seconds)
+            stats.solve_seconds += outcome.seconds
+            if metrics.enabled:
+                metrics.histogram(
+                    "solve_seconds", DEFAULT_TIME_BUCKETS
+                ).observe(outcome.seconds)
+            for key, value in outcome.solver_stats.items():
+                stats.solver_stats[key] = (
+                    stats.solver_stats.get(key, 0) + value
+                )
+            stats.core_skips += outcome.solver_stats.get("core_skips", 0)
+            stats.carried_clauses += outcome.solver_stats.get(
+                "carried_clauses", 0
+            )
+            if outcome.undecided:
+                stats.timeouts += 1
+            for member in members:
+                newly = {
+                    fact
+                    for fact, atom_id in member.solve_atoms.items()
+                    if atom_id in outcome.decided
+                }
+                accepted |= newly
+                member_unknown = {
+                    fact
+                    for fact, atom_id in member.solve_atoms.items()
+                    if atom_id in outcome.undecided
+                }
+                if member_unknown:
+                    # Partially decided member: its exact verdicts count
+                    # toward the answer, but the caches get nothing (a
+                    # cache entry must cover the whole group).
+                    unknown.update(member_unknown)
+                else:
+                    self._finalize_group(member, newly, mode)
+
     @staticmethod
     def _record_query_metrics(metrics, stats: QueryPhaseStats) -> None:
         """Fold one query phase's deterministic counters into ``metrics``."""
@@ -554,6 +709,10 @@ class SegmentaryEngine:
         metrics.inc("cache_memo_misses_total", stats.memo_misses)
         metrics.inc("query_timeouts_total", stats.timeouts)
         metrics.inc("query_retries_total", stats.retries)
+        metrics.inc("query_families_solved_total", stats.families_solved)
+        metrics.inc("query_family_candidates_total", stats.family_candidates)
+        metrics.inc("solve_core_skips_total", stats.core_skips)
+        metrics.inc("solve_carried_clauses_total", stats.carried_clauses)
         metrics.inc(
             "query_unknown_candidates_total", len(stats.unknown_candidates)
         )
@@ -584,12 +743,19 @@ class SegmentaryEngine:
         safe_facts: set[Fact],
         mode: str,
         stats: QueryPhaseStats,
+        build: bool = True,
     ) -> _SignatureGroup:
         """Decide a signature group from the caches, or build its program.
 
         A group answered entirely from the cache comes back with an empty
         ``solve_atoms`` and its accepted candidates in ``accepted_so_far``;
         otherwise the built program rides along for the executor batch.
+
+        ``build=False`` (the incremental strategy) stops after the cache
+        probes: undecided candidates come back in ``unresolved`` and no
+        per-signature program is constructed — the family program built
+        later covers them.  Cache keys are identical either way, so warm
+        entries are shared across strategies.
         """
         assert self.analysis is not None and self.data is not None
         analysis, data = self.analysis, self.data
@@ -647,6 +813,17 @@ class SegmentaryEngine:
                 accepted_so_far=group_accept,
             )
 
+        if not build:
+            return _SignatureGroup(
+                key=key,
+                signature=signature,
+                xr_program=XRProgram(program=_EMPTY_PROGRAM),
+                decision_keys={c: decision_keys[c] for c in unresolved},
+                solve_atoms={},
+                accepted_so_far=group_accept,
+                unresolved=unresolved,
+            )
+
         # Signatures hold *stable* cluster ids (incremental maintenance can
         # retire/mint ids), so resolution goes through the id lookup rather
         # than list position.
@@ -687,7 +864,137 @@ class SegmentaryEngine:
             decision_keys={c: decision_keys[c] for c in unresolved},
             solve_atoms=solve_atoms,
             accepted_so_far=group_accept,
+            unresolved=unresolved,
         )
+
+    def _assemble_families(
+        self,
+        pending: list[_SignatureGroup],
+        supports_by_candidate: dict[Fact, list[tuple[Fact, ...]]],
+        mode: str,
+        stats: QueryPhaseStats,
+        accepted: set[Fact],
+        unknown: set[Fact],
+        clock,
+        allow_partial: bool,
+        trace: bool = False,
+    ) -> tuple[list[list[_SignatureGroup]], list[SolveTask]]:
+        """Merge pending signature groups into cluster families, one shared
+        program (and one :class:`SolveTask`) per family.
+
+        Two groups belong to the same family when their signatures share a
+        violation cluster (transitively — union-find over cluster ids).
+        Each family's program is built once over the union focus
+        (:func:`~repro.xr.program.build_family_program`); its members'
+        ``solve_atoms`` are filled from the *shared* atom table, and every
+        member keeps only its **own** trivially-certain candidates — a
+        family-wide set in a member's cache entry would leak foreign facts
+        into warm hits.  A family rides the executor as a single task so
+        solver reuse survives process-pool dispatch.
+        """
+        assert self.analysis is not None and self.data is not None
+        analysis, data = self.analysis, self.data
+
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:  # path compression
+                parent[x], x = root, parent[x]
+            return root
+
+        for group in pending:
+            ids = sorted(group.signature)
+            for cluster_id in ids:
+                parent.setdefault(cluster_id, cluster_id)
+            anchor = find(ids[0])
+            for cluster_id in ids[1:]:
+                parent[find(cluster_id)] = anchor
+
+        families: dict[int, list[_SignatureGroup]] = {}
+        for group in pending:
+            families.setdefault(find(min(group.signature)), []).append(group)
+
+        family_batches: list[list[_SignatureGroup]] = []
+        tasks: list[SolveTask] = []
+        for root in sorted(families):
+            members = families[root]
+            if clock is not None and clock.expired():
+                if not allow_partial:
+                    raise SolveBudgetExceeded(
+                        "query deadline exceeded while building family "
+                        "programs"
+                    )
+                stats.timeouts += 1
+                for member in members:
+                    unknown.update(member.unresolved)
+                continue
+            cluster_ids = sorted(
+                set().union(*(member.signature for member in members))
+            )
+            query_groundings = [
+                (candidate, support)
+                for member in members
+                for candidate in member.unresolved
+                for support in supports_by_candidate[candidate]
+            ]
+            # `builder` resolves through this module's globals so both
+            # strategies share one program-builder seam (tests stub it).
+            family_program = build_family_program(
+                data,
+                query_groundings=query_groundings,
+                clusters=[analysis.cluster(i) for i in cluster_ids],
+                safe_ids=analysis.safe_ids,
+                encoding=self.encoding,
+                builder=build_xr_program,
+            )
+            stats.largest_program_atoms = max(
+                stats.largest_program_atoms, family_program.program.num_atoms
+            )
+            stats.total_rules += len(family_program.program)
+
+            batch: list[_SignatureGroup] = []
+            batch_atoms: set[int] = set()
+            for member in members:
+                member_trivial = {
+                    candidate
+                    for candidate in member.unresolved
+                    if candidate in family_program.trivially_certain
+                }
+                accepted |= member_trivial
+                member.xr_program = XRProgram(
+                    program=_EMPTY_PROGRAM,
+                    trivially_certain=member_trivial,
+                )
+                member.solve_atoms = {
+                    candidate: family_program.query_atoms[candidate]
+                    for candidate in member.unresolved
+                    if candidate in family_program.query_atoms
+                    and candidate not in member_trivial
+                }
+                if member.solve_atoms:
+                    batch.append(member)
+                    batch_atoms.update(member.solve_atoms.values())
+                else:
+                    # Fully decided without search (trivially certain or
+                    # out of scope): cacheable right now.
+                    self._finalize_group(member, set(), mode)
+            if not batch:
+                continue
+            family_batches.append(batch)
+            tasks.append(
+                SolveTask(
+                    program=PackedProgram.pack(family_program.program),
+                    query_atom_ids=tuple(sorted(batch_atoms)),
+                    mode=mode,
+                    budget=self.budget,
+                    trace=trace,
+                    family=True,
+                )
+            )
+        return family_batches, tasks
 
     def _finalize_group(
         self, group: _SignatureGroup, solver_accepted: set[Fact], mode: str

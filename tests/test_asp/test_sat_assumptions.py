@@ -1,0 +1,229 @@
+"""Assumption handling in the CDCL solver: failed-core analysis.
+
+``SatSolver.solve(assumptions)`` returning False must leave
+``failed_assumptions`` holding the subset of the assumptions whose
+conjunction the clause database refutes (MiniSat's ``analyzeFinal``),
+``[]`` when the database is unsatisfiable on its own.  The family-solve
+path (``repro.asp.reasoning.decide_family``) uses these cores to skip
+candidates entailed unsatisfiable by an already-learned core.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asp.sat import SatSolver
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in c) for c in clauses):
+            return True
+    return False
+
+
+class TestFailedCoreBasics:
+    def test_sat_solve_leaves_no_core(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        assert solver.solve([1])
+        assert solver.failed_assumptions is None
+
+    def test_single_assumption_against_unit(self):
+        solver = SatSolver(1)
+        solver.add_clause([1])
+        assert not solver.solve([-1])
+        assert solver.failed_assumptions == [-1]
+        # The clause database itself stays satisfiable and reusable.
+        assert solver.ok
+        assert solver.solve()
+
+    def test_contradictory_assumption_pair(self):
+        solver = SatSolver(2)
+        assert not solver.solve([1, -1])
+        core = solver.failed_assumptions
+        assert core is not None and set(core) <= {1, -1}
+        # Both sides of the contradiction must be reported: neither alone
+        # is refuted by the (empty) clause database.
+        assert set(core) == {1, -1}
+        assert solver.ok
+
+    def test_core_via_propagation_chain(self):
+        # 1 ∧ 2 → chain forces 5; assuming [1, 2, -5] fails and every link
+        # must be traced back through the reason clauses to {1, 2, -5}.
+        solver = SatSolver(5)
+        solver.add_clause([-1, 3])
+        solver.add_clause([-2, 4])
+        solver.add_clause([-3, -4, 5])
+        assert not solver.solve([1, 2, -5])
+        assert solver.failed_assumptions == [1, 2, -5]
+        assert solver.ok
+
+    def test_core_is_subset_when_assumptions_irrelevant(self):
+        # Variable 4 is disconnected: it must not appear in the core.
+        solver = SatSolver(4)
+        solver.add_clause([-1, 2])
+        assert not solver.solve([4, 1, -2])
+        core = solver.failed_assumptions
+        assert core is not None
+        assert 4 not in core
+        assert set(core) == {1, -2}
+
+    def test_core_preserves_assumption_order(self):
+        solver = SatSolver(3)
+        solver.add_clause([-1, 2])
+        assert not solver.solve([3, 1, -2])
+        # Reported in assumption order for deterministic consumers.
+        assert solver.failed_assumptions == [1, -2]
+
+    def test_duplicate_assumptions_not_duplicated_in_core(self):
+        solver = SatSolver(1)
+        solver.add_clause([1])
+        assert not solver.solve([-1, -1])
+        assert solver.failed_assumptions == [-1]
+
+    def test_formula_unsat_yields_empty_core(self):
+        solver = SatSolver(1)
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert not solver.solve([1])
+        assert solver.failed_assumptions == []
+        assert not solver.ok
+
+    def test_core_cleared_after_subsequent_sat_solve(self):
+        solver = SatSolver(2)
+        solver.add_clause([1, 2])
+        assert not solver.solve([-1, -2])
+        assert solver.failed_assumptions == [-1, -2]
+        assert solver.solve([-1])
+        assert solver.failed_assumptions is None
+
+
+class TestAssumptionConflictBackjump:
+    """Conflicts discovered only after search below the assumptions."""
+
+    def test_core_after_learned_clause_conflict(self):
+        # PHP(4,3) with a selector literal guarding every clause: the
+        # database alone is satisfiable (selector free), but assuming the
+        # selector re-creates the UNSAT pigeonhole instance.  The conflict
+        # is found deep in search, through learned clauses, and the final
+        # analysis must pin it on the selector.
+        pigeons, holes = 4, 3
+        selector = pigeons * holes + 1
+        solver = SatSolver(selector)
+        var = lambda p, h: p * holes + h + 1
+        for p in range(pigeons):
+            solver.add_clause([-selector] + [var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-selector, -var(p1, h), -var(p2, h)])
+        assert not solver.solve([selector])
+        assert solver.failed_assumptions == [selector]
+        assert solver.ok
+        # Without the selector the instance is satisfiable (all guards off).
+        assert solver.solve([-selector])
+        assert solver.failed_assumptions is None
+
+    def test_unrelated_selector_stays_out_of_core(self):
+        # Two guarded sub-formulas; only one is inconsistent.  Assuming
+        # both selectors, the core must name just the inconsistent one.
+        solver = SatSolver(4)
+        good, bad = 3, 4
+        solver.add_clause([-good, 1])
+        solver.add_clause([-bad, 2])
+        solver.add_clause([-bad, -2])
+        assert not solver.solve([good, bad])
+        assert solver.failed_assumptions == [bad]
+        assert solver.solve([good])
+
+    def test_learned_cores_enable_skips_across_calls(self):
+        # After one failed solve, the learned clauses make the repeat
+        # failure cheap — and the core stays correct on the second call.
+        pigeons, holes = 5, 4
+        selector = pigeons * holes + 1
+        solver = SatSolver(selector)
+        var = lambda p, h: p * holes + h + 1
+        for p in range(pigeons):
+            solver.add_clause([-selector] + [var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-selector, -var(p1, h), -var(p2, h)])
+        assert not solver.solve([selector])
+        first_conflicts = solver._conflicts_total
+        assert not solver.solve([selector])
+        assert solver.failed_assumptions == [selector]
+        # The second refutation reuses learned clauses instead of redoing
+        # the full search.
+        assert solver._conflicts_total - first_conflicts <= first_conflicts
+
+    def test_solver_reusable_after_assumption_unsat_mid_sequence(self):
+        solver = SatSolver(3)
+        solver.add_clause([1, 2, 3])
+        solver.add_clause([-1, 2])
+        assert not solver.solve([1, -2])
+        assert solver.failed_assumptions == [1, -2]
+        assert solver.solve([1])
+        assert solver.model()[2]
+        solver.add_clause([-2, 3])
+        assert solver.solve([1])
+        assert solver.model()[3]
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_failed_core_is_itself_unsat(data):
+    """Random formulas: whenever solve(assumptions) fails with the clause
+    database still satisfiable, the reported core — on its own, as unit
+    clauses — must be refuted by the same clause database."""
+    num_vars = data.draw(st.integers(2, 6))
+    num_clauses = data.draw(st.integers(1, 15))
+    clauses = []
+    for _ in range(num_clauses):
+        width = data.draw(st.integers(1, min(3, num_vars)))
+        variables = data.draw(
+            st.lists(
+                st.integers(1, num_vars),
+                min_size=width,
+                max_size=width,
+                unique=True,
+            )
+        )
+        clauses.append([v if data.draw(st.booleans()) else -v for v in variables])
+    assumptions = data.draw(
+        st.lists(
+            st.integers(1, num_vars).map(
+                lambda v: v  # sign drawn below to keep shrinking simple
+            ),
+            min_size=1,
+            max_size=num_vars,
+            unique=True,
+        )
+    )
+    assumptions = [
+        v if data.draw(st.booleans()) else -v for v in assumptions
+    ]
+
+    solver = SatSolver(num_vars)
+    ok = all(solver.add_clause(c) for c in clauses)
+    if not ok:
+        return
+    result = solver.solve(assumptions)
+    expected = brute_force_sat(
+        num_vars, clauses + [[lit] for lit in assumptions]
+    )
+    assert result == expected
+    if result:
+        assert solver.failed_assumptions is None
+        return
+    core = solver.failed_assumptions
+    assert core is not None
+    if not solver.ok:
+        assert core == []
+        assert not brute_force_sat(num_vars, clauses)
+        return
+    # Core literals all come from the assumptions...
+    assert set(core) <= set(assumptions)
+    # ...and the core alone already clashes with the clause database.
+    assert not brute_force_sat(num_vars, clauses + [[lit] for lit in core])
