@@ -246,6 +246,50 @@ def _command_fuzz(arguments) -> int:
     return 0 if summary.ok else 1
 
 
+def _command_serve(arguments) -> int:
+    from repro.serve import QueryService, ServiceConfig, run_serve
+
+    if arguments.scenario:
+        if arguments.mapping or arguments.data:
+            print("--scenario and -m/-d are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        from repro.bench.micro import parse_scenario_name
+        from repro.genomics.instances import build_instance
+        from repro.genomics.schema import genome_mapping
+        from repro.reduction.reduce import reduce_mapping
+
+        mapping = reduce_mapping(genome_mapping())
+        instance = build_instance(
+            parse_scenario_name(arguments.scenario)
+        ).instance
+        print(f"% loaded genomics scenario {arguments.scenario} "
+              f"({len(instance)} source facts)")
+    elif arguments.mapping and arguments.data:
+        mapping, instance = _load(arguments)
+    else:
+        print("pass --scenario NAME or both -m/--mapping and -d/--data",
+              file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        jobs=arguments.jobs,
+        solve_strategy=arguments.solve_strategy,
+        deadline=arguments.deadline,
+        task_timeout=arguments.task_timeout,
+        max_retries=arguments.retries,
+        max_inflight=arguments.max_inflight,
+        max_queue=arguments.max_queue,
+        queue_timeout=arguments.queue_timeout,
+    )
+    started = time.perf_counter()
+    service = QueryService(mapping, instance, config)
+    exchange = service.engine.exchange_stats
+    print(f"% exchange materialized in {time.perf_counter() - started:.2f}s "
+          f"({exchange.chased_facts} chased facts, "
+          f"{exchange.clusters} cluster(s))")
+    return run_serve(service, host=arguments.host, port=arguments.port)
+
+
 def _command_bench(arguments) -> int:
     from repro.bench.micro import (
         MICRO_QUERIES,
@@ -254,6 +298,54 @@ def _command_bench(arguments) -> int:
     )
     from repro.bench.reporting import print_flush, write_benchmark_json
 
+    if arguments.serve:
+        from repro.bench.serve import (
+            SERVE_QUERIES,
+            SERVE_SCENARIOS,
+            format_serve_table,
+            run_serve_bench,
+        )
+
+        scenarios = (
+            tuple(arguments.scenarios.split(","))
+            if arguments.scenarios else SERVE_SCENARIOS
+        )
+        queries = (
+            tuple(arguments.queries.split(",")) if arguments.queries
+            else SERVE_QUERIES
+        )
+        payload = run_serve_bench(
+            scenarios=scenarios,
+            clients=arguments.clients,
+            duration=arguments.duration,
+            warmup=arguments.warmup,
+            queries=queries,
+            url=arguments.url,
+            jobs=arguments.jobs,
+            log=print_flush,
+        )
+        print(format_serve_table(payload))
+        if arguments.json:
+            path = write_benchmark_json(arguments.json, payload)
+            print(f"% artifact written to {path}")
+        total_errors = sum(
+            row["errors"] for row in payload["scenarios"].values()
+        )
+        if total_errors:
+            print(f"% FAIL: {total_errors} non-degraded error(s)",
+                  file=sys.stderr)
+            return 1
+        if arguments.qps_floor is not None:
+            below = {
+                name: row["qps"]
+                for name, row in payload["scenarios"].items()
+                if row["qps"] < arguments.qps_floor
+            }
+            if below:
+                print(f"% FAIL: qps below floor {arguments.qps_floor}: "
+                      f"{below}", file=sys.stderr)
+                return 1
+        return 0
     if arguments.ab:
         from repro.bench.ab import AB_QUERIES, format_ab_table, run_solve_ab
 
@@ -410,6 +502,51 @@ def build_parser() -> argparse.ArgumentParser:
                       "invariants (repro.fuzz.faults)")
     fuzz.set_defaults(run=_command_fuzz)
 
+    serve = commands.add_parser(
+        "serve", help="long-lived HTTP query service over one scenario"
+    )
+    serve.add_argument("-m", "--mapping",
+                       help="schema mapping file (SOURCE/TARGET + rules)")
+    serve.add_argument("-d", "--data",
+                       help="source instance file (ground facts)")
+    serve.add_argument("--scenario", metavar="S3",
+                       help="serve a genomics micro-benchmark scenario "
+                       "(size letter + suspect percent) instead of -m/-d")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (default 8080; 0 = ephemeral)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for signature solving "
+                       "(default 1 = in-process)")
+    serve.add_argument("--solve-strategy",
+                       choices=("per-signature", "incremental"),
+                       default="incremental",
+                       help="query-phase solve strategy (default "
+                       "incremental)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request wall-clock ceiling; over-deadline "
+                       "requests degrade (unknown candidates surfaced) "
+                       "instead of failing")
+    serve.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-signature-program solve ceiling")
+    serve.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="re-dispatch attempts after worker crashes "
+                       "(default 0)")
+    serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="concurrent query executions admitted "
+                       "(default 8)")
+    serve.add_argument("--max-queue", type=int, default=16, metavar="N",
+                       help="requests allowed to wait for a slot; beyond "
+                       "this, immediate 429 (default 16)")
+    serve.add_argument("--queue-timeout", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="max wait for an execution slot before 429 "
+                       "(default 2.0)")
+    serve.set_defaults(run=_command_serve)
+
     bench = commands.add_parser(
         "bench", help="micro-benchmarks of the deterministic hot paths"
     )
@@ -432,6 +569,31 @@ def build_parser() -> argparse.ArgumentParser:
                        "query-phase stages (default ep2,xr2,xr4)")
     bench.add_argument("--json", metavar="PATH",
                        help="write the artifact payload to PATH")
+    bench.add_argument("--serve", action="store_true",
+                       help="load-test the serving tier: N client threads "
+                       "over the genomics grid, p50/p99 latency + "
+                       "sustained QPS (BENCH_PR9.json)")
+    bench.add_argument("--clients", type=int, default=8, metavar="N",
+                       help="concurrent client threads for --serve "
+                       "(default 8)")
+    bench.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="server-side worker processes for --serve "
+                       "(default 1)")
+    bench.add_argument("--duration", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="measured window per scenario for --serve "
+                       "(default 5.0)")
+    bench.add_argument("--warmup", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="warmup excluded from --serve percentiles "
+                       "(default 1.0)")
+    bench.add_argument("--url", metavar="http://HOST:PORT",
+                       help="target an externally-booted server instead "
+                       "of in-process ones (--serve only; CI smoke)")
+    bench.add_argument("--qps-floor", type=float, default=None,
+                       metavar="QPS",
+                       help="exit non-zero when any --serve scenario "
+                       "sustains less than this (CI enforcement)")
     observability(bench)
     bench.set_defaults(run=_command_bench)
     return parser

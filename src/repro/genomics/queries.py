@@ -58,5 +58,14 @@ def query_by_name(name: str) -> ConjunctiveQuery:
     return suite[name]
 
 
+def query_text_by_name(name: str) -> str:
+    """The surface-syntax text of a Table 3 query (for wire protocols —
+    ``repro bench --serve`` clients send query *text*, not objects)."""
+    for candidate, text in _QUERY_TEXTS:
+        if candidate == name:
+            return text
+    raise KeyError(f"unknown query {name!r}; suite: {sorted(QUERY_SUITE)}")
+
+
 def all_queries() -> list[tuple[str, ConjunctiveQuery]]:
     return [(name, query_by_name(name)) for name in QUERY_SUITE]

@@ -38,10 +38,22 @@ of violation-cluster ids whose meaning is fixed by the engine's
 and mints fresh ids for their replacements; :meth:`invalidate_clusters`
 then drops exactly the entries whose signature meets the retired set,
 so decisions about *unaffected* clusters survive the update.
+
+**Thread safety.**  One cache is shared by every query running on a warm
+engine — under the serving tier (:mod:`repro.serve`) those queries run on
+*concurrent threads*.  LRU recency maintenance mutates the underlying
+dicts on **lookup** (delete + re-insert), so even the read path writes;
+all four operations (lookup/store/invalidate/clear) therefore take one
+internal ``threading.Lock``.  The critical sections are a few dict
+operations each, so the single-threaded overhead is one uncontended
+acquire per call — negligible next to program construction, and far
+cheaper than the torn-LRU ``KeyError`` crashes (or silently corrupted
+recency chains) concurrent unlocked lookups produce.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -115,6 +127,11 @@ class SignatureProgramCache:
             raise ValueError(f"max_decisions must be >= 1, got {max_decisions}")
         self.max_programs = max_programs
         self.max_decisions = max_decisions
+        # One lock for both layers and the counters: lookups mutate the
+        # dicts too (LRU delete + re-insert), so readers and writers must
+        # exclude each other.  Never held while calling out — the metrics
+        # registry has its own lock and is incremented outside ours.
+        self._lock = threading.Lock()
         # Python dicts preserve insertion order; LRU recency is maintained
         # by deleting + re-inserting on every touch, and eviction pops the
         # oldest entry (next(iter(...))).
@@ -128,29 +145,34 @@ class SignatureProgramCache:
     # ---------------------------------------------------- program layer
 
     def lookup_program(self, key: ProgramKey) -> frozenset[Fact] | None:
-        accepted = self._programs.get(key)
-        if accepted is None:
-            self.stats.program_misses += 1
-        else:
-            self.stats.program_hits += 1
-            if self.max_programs is not None:
-                # Refresh recency (move to the back of the dict).
-                del self._programs[key]
-                self._programs[key] = accepted
+        with self._lock:
+            accepted = self._programs.get(key)
+            if accepted is None:
+                self.stats.program_misses += 1
+            else:
+                self.stats.program_hits += 1
+                if self.max_programs is not None:
+                    # Refresh recency (move to the back of the dict).
+                    del self._programs[key]
+                    self._programs[key] = accepted
         return accepted
 
     def store_program(self, key: ProgramKey, accepted: Iterable[Fact]) -> None:
-        if key in self._programs:
-            del self._programs[key]
-        self._programs[key] = frozenset(accepted)
-        if (
-            self.max_programs is not None
-            and len(self._programs) > self.max_programs
-        ):
-            self._programs.pop(next(iter(self._programs)))
-            self.stats.program_evictions += 1
-            if self.metrics is not None:
-                self.metrics.inc("cache_program_evictions_total")
+        value = frozenset(accepted)
+        evicted = False
+        with self._lock:
+            if key in self._programs:
+                del self._programs[key]
+            self._programs[key] = value
+            if (
+                self.max_programs is not None
+                and len(self._programs) > self.max_programs
+            ):
+                self._programs.pop(next(iter(self._programs)))
+                self.stats.program_evictions += 1
+                evicted = True
+        if evicted and self.metrics is not None:
+            self.metrics.inc("cache_program_evictions_total")
 
     # --------------------------------------------------- decision layer
 
@@ -162,14 +184,15 @@ class SignatureProgramCache:
         key: DecisionKey,
     ) -> bool | None:
         full_key = (signature, encoding, mode, key)
-        verdict = self._decisions.get(full_key)
-        if verdict is None:
-            self.stats.decision_misses += 1
-        else:
-            self.stats.decision_hits += 1
-            if self.max_decisions is not None:
-                del self._decisions[full_key]
-                self._decisions[full_key] = verdict
+        with self._lock:
+            verdict = self._decisions.get(full_key)
+            if verdict is None:
+                self.stats.decision_misses += 1
+            else:
+                self.stats.decision_hits += 1
+                if self.max_decisions is not None:
+                    del self._decisions[full_key]
+                    self._decisions[full_key] = verdict
         return verdict
 
     def store_decision(
@@ -181,17 +204,20 @@ class SignatureProgramCache:
         accepted: bool,
     ) -> None:
         full_key = (signature, encoding, mode, key)
-        if full_key in self._decisions:
-            del self._decisions[full_key]
-        self._decisions[full_key] = accepted
-        if (
-            self.max_decisions is not None
-            and len(self._decisions) > self.max_decisions
-        ):
-            self._decisions.pop(next(iter(self._decisions)))
-            self.stats.decision_evictions += 1
-            if self.metrics is not None:
-                self.metrics.inc("cache_decision_evictions_total")
+        evicted = False
+        with self._lock:
+            if full_key in self._decisions:
+                del self._decisions[full_key]
+            self._decisions[full_key] = accepted
+            if (
+                self.max_decisions is not None
+                and len(self._decisions) > self.max_decisions
+            ):
+                self._decisions.pop(next(iter(self._decisions)))
+                self.stats.decision_evictions += 1
+                evicted = True
+        if evicted and self.metrics is not None:
+            self.metrics.inc("cache_decision_evictions_total")
 
     # -------------------------------------------------- invalidation
 
@@ -207,18 +233,21 @@ class SignatureProgramCache:
         retired = frozenset(cluster_ids)
         if not retired:
             return 0
-        dead_programs = [
-            key for key in self._programs if not retired.isdisjoint(key[0])
-        ]
-        for key in dead_programs:
-            del self._programs[key]
-        dead_decisions = [
-            key for key in self._decisions if not retired.isdisjoint(key[0])
-        ]
-        for key in dead_decisions:
-            del self._decisions[key]
-        dropped = len(dead_programs) + len(dead_decisions)
-        self.stats.invalidated += dropped
+        with self._lock:
+            dead_programs = [
+                key for key in self._programs if not retired.isdisjoint(key[0])
+            ]
+            for key in dead_programs:
+                del self._programs[key]
+            dead_decisions = [
+                key
+                for key in self._decisions
+                if not retired.isdisjoint(key[0])
+            ]
+            for key in dead_decisions:
+                del self._decisions[key]
+            dropped = len(dead_programs) + len(dead_decisions)
+            self.stats.invalidated += dropped
         if self.metrics is not None and dropped:
             self.metrics.inc("cache_invalidated_entries_total", dropped)
         return dropped
@@ -226,8 +255,10 @@ class SignatureProgramCache:
     # ------------------------------------------------------------ misc
 
     def clear(self) -> None:
-        self._programs.clear()
-        self._decisions.clear()
+        with self._lock:
+            self._programs.clear()
+            self._decisions.clear()
 
     def __len__(self) -> int:
-        return len(self._programs) + len(self._decisions)
+        with self._lock:
+            return len(self._programs) + len(self._decisions)

@@ -42,6 +42,7 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import wait as _wait_futures
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
@@ -298,6 +299,32 @@ def _solve_pickled(
     return solve_task(pickle.loads(payload), deadline_at=deadline_at)
 
 
+class _DispatchRecord:
+    """``last_dispatch`` bookkeeping that is correct under threads.
+
+    A shared executor (the serving tier multiplexes every request onto
+    one) is asked "how did *my* batch run?" right after ``run()`` returns
+    — a single shared string would answer with whichever batch finished
+    last, on any thread.  The record keeps a thread-local value (what the
+    *calling* thread's most recent batch did) over a cross-thread
+    fallback (the most recent batch anywhere, preserving the historical
+    single-threaded reads from non-submitting threads).
+    """
+
+    __slots__ = ("_local", "_latest")
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._latest = "none"
+
+    def get(self) -> str:
+        return getattr(self._local, "value", self._latest)
+
+    def set(self, value: str) -> None:
+        self._local.value = value
+        self._latest = value
+
+
 @runtime_checkable
 class SolveExecutor(Protocol):
     """Anything that can run a batch of solve tasks, preserving order.
@@ -305,6 +332,8 @@ class SolveExecutor(Protocol):
     ``last_dispatch`` must record how the most recent ``run()`` actually
     executed (not how the executor was configured): ``"sequential"``,
     ``"parallel"``, ``"mixed"``, or ``"none"`` before the first batch.
+    On a shared executor the value read must be the *calling thread's*
+    most recent batch when that thread has run one.
     """
 
     name: str
@@ -341,12 +370,23 @@ class SequentialExecutor:
     name = "sequential"
 
     def __init__(self) -> None:
-        self.last_dispatch = "none"
+        self._dispatch = _DispatchRecord()
         self.metrics: Metrics | None = None
+
+    @property
+    def last_dispatch(self) -> str:
+        return self._dispatch.get()
+
+    @last_dispatch.setter
+    def last_dispatch(self, value: str) -> None:
+        self._dispatch.set(value)
 
     def run(
         self, tasks: Sequence[SolveTask], deadline: Deadline | None = None
     ) -> list[SolveOutcome]:
+        if not tasks:
+            self.last_dispatch = "none"
+            return []
         self.last_dispatch = "sequential"
         if self.metrics is not None:
             self.metrics.inc("executor_batches_total")
@@ -379,6 +419,19 @@ class ParallelExecutor:
     Whatever happens, ``run`` returns one outcome per task, in order, and
     an outcome is only ever non-``ok`` when a budget or fault forced it —
     never because parallelism happened to be unavailable.
+
+    **One batch at a time.**  Dispatch state — the lazily-(re)created
+    pool, the spawn-failure counters, the crash-retry bookkeeping — is
+    shared across batches, so ``run()`` serializes itself on an internal
+    lock: concurrent ``submit`` from multiple threads (the serving tier
+    multiplexing requests onto one executor) queues batches instead of
+    interleaving their retry/pool-rebuild bookkeeping.  Answers were
+    never at risk (each batch's results live in locals), but an
+    interleaved ``_abandon_pool`` could strand another batch's futures
+    and double-count spawn failures.  ``close()`` takes the same lock,
+    so a pool is never torn down under a live batch.  ``last_dispatch``
+    is thread-local (see :class:`_DispatchRecord`): each thread reads
+    how *its* batch ran.
     """
 
     name = "parallel"
@@ -396,14 +449,25 @@ class ParallelExecutor:
         # budget rework (retry and timeout need task granularity).
         self.chunk_size = chunk_size
         self.deadline_grace = deadline_grace
-        self.last_dispatch = "none"
+        self._dispatch = _DispatchRecord()
         self.metrics: Metrics | None = None
+        # Serializes run()/close(): dispatch bookkeeping (pool handle,
+        # spawn-failure counters, retry waves) is one-batch-at-a-time.
+        self._batch_lock = threading.Lock()
         self._pool: _ProcessPool | None = None
         self._spawn_failures = 0  # lifetime count, capped
         # The worker entry point; fault-injecting subclasses override it.
         # Must be picklable (module-level function or functools.partial
         # of one) so spawn-based pools can ship it.
         self._worker: Callable = _solve_pickled
+
+    @property
+    def last_dispatch(self) -> str:
+        return self._dispatch.get()
+
+    @last_dispatch.setter
+    def last_dispatch(self, value: str) -> None:
+        self._dispatch.set(value)
 
     def _count(self, name: str, value: int = 1) -> None:
         """Record one executor event when a metrics registry is attached."""
@@ -490,7 +554,17 @@ class ParallelExecutor:
         self._count("executor_batches_total")
         self._count("executor_tasks_total", len(tasks))
         if len(tasks) < self.min_batch or self.jobs <= 1:
+            # In-process execution touches no shared dispatch state; it
+            # runs outside the batch lock so small batches never queue
+            # behind a pooled one.
             return self._run_sequential(tasks, deadline)
+        with self._batch_lock:
+            return self._run_pooled(tasks, deadline)
+
+    def _run_pooled(
+        self, tasks: list[SolveTask], deadline: Deadline | None
+    ) -> list[SolveOutcome]:
+        """Dispatch one batch through the pool; caller holds the lock."""
         try:
             payloads = [
                 pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
@@ -615,12 +689,13 @@ class ParallelExecutor:
         return results  # type: ignore[return-value]
 
     def close(self) -> None:
-        if self._pool is not None:
-            # wait=True: a dying pool's queue threads must not survive
-            # into a later fork() — a forked child that inherits their
-            # locks mid-acquisition deadlocks on first use.
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        with self._batch_lock:
+            if self._pool is not None:
+                # wait=True: a dying pool's queue threads must not survive
+                # into a later fork() — a forked child that inherits their
+                # locks mid-acquisition deadlocks on first use.
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
 
     def __enter__(self) -> "ParallelExecutor":
         return self

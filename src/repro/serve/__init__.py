@@ -1,0 +1,53 @@
+"""The serving tier: a long-lived XR query service (``repro serve``).
+
+ROADMAP item 1's "heavy traffic" milestone: scenarios load **once**, a
+warm :class:`~repro.xr.segmentary.SegmentaryEngine` answers concurrent
+XR-Certain/XR-Possible queries over HTTP JSON, per-request
+:class:`~repro.runtime.SolveBudget` deadlines are the SLO layer (PR 4's
+degraded-answer semantics on the wire instead of 500s), writes flow
+through PR 7's single-writer :class:`~repro.incremental.UpdateSession`
+behind a readers–writer seam, and PR 5's metrics registry is exported
+live at ``/metrics``.
+
+Layers (each its own module, stdlib only):
+
+- :mod:`repro.serve.rwlock` — writer-preferring readers–writer lock;
+- :mod:`repro.serve.admission` — bounded in-flight + bounded wait queue;
+- :mod:`repro.serve.protocol` — JSON request/response schema, canonical
+  (sorted, ``repr``-rendered) answer rows;
+- :mod:`repro.serve.service` — :class:`QueryService`, the warm engine
+  behind the seam (usable in-process, no HTTP required);
+- :mod:`repro.serve.http` — the ``ThreadingHTTPServer`` surface and the
+  SIGTERM-clean :func:`run_serve` loop.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionRejected
+from repro.serve.http import ReproServer, run_serve
+from repro.serve.protocol import (
+    ProtocolError,
+    QueryRequest,
+    answer_payload,
+    parse_query_request,
+    parse_update_request,
+    request_budget,
+    serialize_rows,
+)
+from repro.serve.rwlock import RWLock
+from repro.serve.service import QueryService, ServiceConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "ProtocolError",
+    "QueryRequest",
+    "QueryService",
+    "ReproServer",
+    "RWLock",
+    "ServiceConfig",
+    "answer_payload",
+    "parse_query_request",
+    "parse_update_request",
+    "request_budget",
+    "run_serve",
+    "serialize_rows",
+]

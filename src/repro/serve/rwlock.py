@@ -1,0 +1,111 @@
+"""A writer-preferring readers–writer lock for the serving tier.
+
+The serving workload is read-mostly by construction: queries (readers)
+vastly outnumber updates (writers), and PR 7's :class:`UpdateSession`
+mutates the exchange state **in place** — so a query overlapping an
+update could observe a half-applied delta (chased facts from the new
+state joined against clusters from the old one).  The seam between the
+two is this lock:
+
+- any number of concurrent **readers** (queries) share the lock;
+- one **writer** (an update) holds it exclusively;
+- the writer is **preferred**: once a writer is waiting, new readers
+  queue behind it, so a steady query stream cannot starve updates.
+
+Writers are additionally serialized among themselves (single-writer
+semantics fall out of exclusivity), which is exactly what
+:class:`UpdateSession` requires.
+
+Plain :class:`threading.Condition` machinery — no busy waiting, and the
+uncontended reader path is one lock acquire + two integer updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """Writer-preferring shared/exclusive lock (not reentrant)."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------ readers
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Take the lock shared; False on timeout (lock not taken)."""
+        with self._cond:
+            acquired = self._cond.wait_for(
+                lambda: not self._writer_active and not self._writers_waiting,
+                timeout=timeout,
+            )
+            if not acquired:
+                return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers < 0:
+                raise RuntimeError("release_read without acquire_read")
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------ writers
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Take the lock exclusive; False on timeout (lock not taken)."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                acquired = self._cond.wait_for(
+                    lambda: not self._writer_active and self._readers == 0,
+                    timeout=timeout,
+                )
+                if not acquired:
+                    return False
+                self._writer_active = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -------------------------------------------------- context managers
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def snapshot(self) -> dict:
+        """Current holder counts (diagnostics for ``/healthz``)."""
+        with self._cond:
+            return {
+                "readers": self._readers,
+                "writer_active": self._writer_active,
+                "writers_waiting": self._writers_waiting,
+            }

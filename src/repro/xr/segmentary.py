@@ -26,6 +26,7 @@ sequential execution, cached and uncached, return identical answers.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 
@@ -253,6 +254,9 @@ class SegmentaryEngine:
         self.analysis: EnvelopeAnalysis | None = None
         self.exchange_stats = ExchangePhaseStats()
         self._last_query_stats = QueryPhaseStats()
+        # Guards the one-time exchange phase: concurrent first queries on
+        # a shared engine (the serving tier) must not both materialize.
+        self._exchange_lock = threading.Lock()
 
     @property
     def last_query_stats(self) -> QueryPhaseStats:
@@ -285,27 +289,43 @@ class SegmentaryEngine:
     # ------------------------------------------------------ exchange phase
 
     def exchange(self) -> ExchangePhaseStats:
-        """Run the query-independent exchange phase; idempotent."""
+        """Run the query-independent exchange phase; idempotent.
+
+        Thread-safe: concurrent callers serialize on a lock and exactly
+        one materializes; the rest return the published stats.  ``data``
+        and ``analysis`` are assigned only after they are fully built, so
+        a reader that saw ``analysis is not None`` sees complete state.
+        """
+        if self.analysis is not None:
+            return self.exchange_stats
+        with self._exchange_lock:
+            return self._exchange_locked()
+
+    def _exchange_locked(self) -> ExchangePhaseStats:
         if self.analysis is not None:
             return self.exchange_stats
         tracer, metrics = self.obs.tracer, self.obs.metrics
         started = time.perf_counter()
         with tracer.span("exchange"):
-            self.data = build_exchange_data(
+            data = build_exchange_data(
                 self.reduced.gav, self.instance, obs=self.obs
             )
             with tracer.span("exchange.envelope"):
-                self.analysis = analyze_envelopes(self.data)
+                analysis = analyze_envelopes(data)
         self.exchange_stats = ExchangePhaseStats(
             seconds=time.perf_counter() - started,
             source_facts=len(self.instance),
-            chased_facts=len(self.data.chased),
-            groundings=len(self.data.groundings),
-            violations=len(self.data.violations),
-            clusters=len(self.analysis.clusters),
-            suspect_source_facts=len(self.analysis.suspect_source),
-            safe_source_facts=len(self.analysis.safe_source),
+            chased_facts=len(data.chased),
+            groundings=len(data.groundings),
+            violations=len(data.violations),
+            clusters=len(analysis.clusters),
+            suspect_source_facts=len(analysis.suspect_source),
+            safe_source_facts=len(analysis.safe_source),
         )
+        # Publish only once everything (stats included) is complete: the
+        # unlocked fast path above keys on `analysis is not None`.
+        self.data = data
+        self.analysis = analysis
         if metrics.enabled:
             metrics.inc(
                 "exchange_clusters_total", self.exchange_stats.clusters
@@ -342,17 +362,25 @@ class SegmentaryEngine:
 
     def refresh_exchange_stats(self) -> None:
         """Re-derive :attr:`exchange_stats` counts from the current state
-        (called by an update session after each delta; timings are kept)."""
+        (called by an update session after each delta; timings are kept).
+
+        Copy-on-publish: a fresh stats object is built and swapped in
+        with one assignment, so a concurrent reader (a ``/metrics`` or
+        ``/healthz`` scrape overlapping an applied delta) sees either the
+        old snapshot or the new one in full — never a half-updated mix.
+        """
         if self.data is None or self.analysis is None:
             return
-        stats = self.exchange_stats
-        stats.source_facts = len(self.instance)
-        stats.chased_facts = len(self.data.chased)
-        stats.groundings = len(self.data.groundings)
-        stats.violations = len(self.data.violations)
-        stats.clusters = len(self.analysis.clusters)
-        stats.suspect_source_facts = len(self.analysis.suspect_source)
-        stats.safe_source_facts = len(self.analysis.safe_source)
+        self.exchange_stats = ExchangePhaseStats(
+            seconds=self.exchange_stats.seconds,
+            source_facts=len(self.instance),
+            chased_facts=len(self.data.chased),
+            groundings=len(self.data.groundings),
+            violations=len(self.data.violations),
+            clusters=len(self.analysis.clusters),
+            suspect_source_facts=len(self.analysis.suspect_source),
+            safe_source_facts=len(self.analysis.safe_source),
+        )
 
     # --------------------------------------------------------- query phase
 
@@ -360,10 +388,11 @@ class SegmentaryEngine:
         self,
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
         allow_partial: bool = False,
+        budget: SolveBudget | None = None,
     ) -> set[tuple]:
         """The XR-Certain answers to ``query`` (a set of constant tuples)."""
         answers, _stats = self.answer_with_stats(
-            query, mode="certain", allow_partial=allow_partial
+            query, mode="certain", allow_partial=allow_partial, budget=budget
         )
         return answers
 
@@ -371,6 +400,7 @@ class SegmentaryEngine:
         self,
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
         allow_partial: bool = False,
+        budget: SolveBudget | None = None,
     ) -> set[tuple]:
         """The XR-Possible answers: tuples holding in *some* XR-solution.
 
@@ -380,7 +410,7 @@ class SegmentaryEngine:
         clusters, i.e. iff its signature program answers bravely.
         """
         answers, _stats = self.answer_with_stats(
-            query, mode="possible", allow_partial=allow_partial
+            query, mode="possible", allow_partial=allow_partial, budget=budget
         )
         return answers
 
@@ -389,6 +419,7 @@ class SegmentaryEngine:
         query: ConjunctiveQuery | UnionOfConjunctiveQueries,
         mode: str = "certain",
         allow_partial: bool = False,
+        budget: SolveBudget | None = None,
     ) -> tuple[set[tuple], QueryPhaseStats]:
         """Answer ``query`` and return ``(answers, stats)``.
 
@@ -410,11 +441,16 @@ class SegmentaryEngine:
         assert self.data is not None and self.analysis is not None
         started = time.perf_counter()
         data, analysis = self.data, self.analysis
+        if budget is None:
+            # Per-call override absent: the engine's configured budget.
+            # The serving tier passes one per request so concurrent
+            # deadlines never share (or mutate) engine state.
+            budget = self.budget
         incremental = self.solve_strategy == "incremental"
         stats = QueryPhaseStats(
             executor=self.executor.name, strategy=self.solve_strategy
         )
-        clock = self.budget.started()  # None unless a deadline is set
+        clock = budget.started()  # None unless a deadline is set
         unknown: set[Fact] = set()
         tracer, metrics = self.obs.tracer, self.obs.metrics
 
@@ -504,7 +540,7 @@ class SegmentaryEngine:
                                     sorted(group.solve_atoms.values())
                                 ),
                                 mode=mode,
-                                budget=self.budget,
+                                budget=budget,
                                 trace=tracer.enabled,
                             )
                         )
@@ -514,7 +550,7 @@ class SegmentaryEngine:
                     family_batches, tasks = self._assemble_families(
                         pending, supports_by_candidate, mode, stats,
                         accepted, unknown, clock, allow_partial,
-                        trace=tracer.enabled,
+                        trace=tracer.enabled, budget=budget,
                     )
             stats.build_seconds = time.perf_counter() - build_started
 
@@ -878,6 +914,7 @@ class SegmentaryEngine:
         clock,
         allow_partial: bool,
         trace: bool = False,
+        budget: SolveBudget | None = None,
     ) -> tuple[list[list[_SignatureGroup]], list[SolveTask]]:
         """Merge pending signature groups into cluster families, one shared
         program (and one :class:`SolveTask`) per family.
@@ -894,6 +931,8 @@ class SegmentaryEngine:
         """
         assert self.analysis is not None and self.data is not None
         analysis, data = self.analysis, self.data
+        if budget is None:
+            budget = self.budget
 
         parent: dict[int, int] = {}
 
@@ -989,7 +1028,7 @@ class SegmentaryEngine:
                     program=PackedProgram.pack(family_program.program),
                     query_atom_ids=tuple(sorted(batch_atoms)),
                     mode=mode,
-                    budget=self.budget,
+                    budget=budget,
                     trace=trace,
                     family=True,
                 )

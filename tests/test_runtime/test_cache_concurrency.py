@@ -1,0 +1,199 @@
+"""Concurrent hammer tests for :class:`SignatureProgramCache`.
+
+The serving tier shares one cache across concurrent query threads, and
+the pre-lock cache mutated its dicts with no synchronization:
+
+- LRU recency maintenance mutates on **lookup** (delete + re-insert),
+  so even the read path writes;
+- ``invalidate_clusters`` *iterates* both dicts scanning for retired
+  signatures.
+
+On CPython ≥ 3.12 thread switches happen at loop back-edges, so the
+reliably observable old-code failure is the second one: an invalidation
+scan overlapping a concurrent ``store_program`` dies with
+``RuntimeError: dictionary changed size during iteration``
+(:func:`test_invalidate_concurrent_with_stores` reproduces it within a
+few thousand rounds when the internal lock is stubbed out — exactly the
+pre-fix code).  The del/re-insert lookup race is a ``KeyError`` on
+free-threaded builds and any interleaving with a call boundary between
+the delete and the re-insert; the same-key hammers cover it.
+
+``sys.setswitchinterval`` is tightened during the hammers so the
+interpreter actually interleaves the threads, and restored afterwards.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.relational.instance import Fact
+from repro.runtime.cache import SignatureProgramCache, program_key
+
+THREADS = 8
+ROUNDS = 400
+
+
+@pytest.fixture(autouse=True)
+def _tight_switch_interval():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+def _keys(count: int):
+    return [
+        program_key(
+            frozenset({index}),
+            "repair",
+            "certain",
+            [(Fact("q", (index,)), (Fact("r", (index,)),))],
+        )
+        for index in range(count)
+    ]
+
+
+def _run_threads(work, count=THREADS):
+    """Run ``work(thread_index)`` on ``count`` threads; re-raise errors."""
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(count)
+
+    def runner(index: int) -> None:
+        try:
+            barrier.wait()
+            work(index)
+        except BaseException as exc:  # noqa: BLE001 — the assertion channel
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def test_invalidate_concurrent_with_stores():
+    """The old-code killer: invalidation scans while stores grow the dict.
+
+    ``invalidate_clusters`` iterates ``self._programs`` in a
+    comprehension (loop back-edges = switch points); a concurrent
+    ``store_program`` inserting a *new* key mid-scan made the unlocked
+    code raise ``RuntimeError: dictionary changed size during
+    iteration``.  Stubbing the cache's ``_lock`` out reproduces that
+    failure reliably at these iteration counts.
+    """
+    cache = SignatureProgramCache()
+    keys = _keys(96)
+    for index in range(64):
+        cache.store_program(keys[index], [Fact("q", (index,))])
+    stop = threading.Event()
+
+    def work(index: int) -> None:
+        if index == 0:
+            try:
+                for round_number in range(3000):
+                    cache.invalidate_clusters(
+                        frozenset({round_number % 64})
+                    )
+            finally:
+                stop.set()
+        else:
+            round_number = 0
+            while not stop.is_set():
+                key = keys[(index * 12 + round_number) % len(keys)]
+                cache.store_program(key, [Fact("q", (round_number,))])
+                round_number += 1
+
+    _run_threads(work)
+
+
+def test_concurrent_same_key_lookups_survive():
+    """Bounded LRU + all threads hammering ONE key: every hit refreshes
+    recency (``del`` then re-insert), the historically racy read path."""
+    cache = SignatureProgramCache(max_programs=4, max_decisions=4)
+    [key] = _keys(1)
+    value = frozenset({Fact("q", (0,))})
+    cache.store_program(key, value)
+
+    def work(_index: int) -> None:
+        for _ in range(ROUNDS):
+            found = cache.lookup_program(key)
+            assert found in (None, value)
+
+    _run_threads(work)
+    assert cache.lookup_program(key) == value
+
+
+def test_concurrent_lookup_store_invalidate_mix():
+    """Full-API hammer: lookups, stores, eviction and invalidation from
+    every thread at once; the cache must neither crash nor lose
+    consistency (a surviving entry always round-trips its stored value)."""
+    cache = SignatureProgramCache(max_programs=8, max_decisions=8)
+    keys = _keys(16)
+    values = {
+        key: frozenset({Fact("q", (index,))})
+        for index, key in enumerate(keys)
+    }
+
+    def work(index: int) -> None:
+        for round_number in range(ROUNDS):
+            key = keys[(index + round_number) % len(keys)]
+            if round_number % 5 == index % 5:
+                cache.store_program(key, values[key])
+                cache.store_decision(
+                    key[0], "repair", "certain", frozenset(), True
+                )
+            elif round_number % 17 == 0:
+                cache.invalidate_clusters(key[0])
+            else:
+                found = cache.lookup_program(key)
+                assert found in (None, values[key])
+                verdict = cache.lookup_decision(
+                    key[0], "repair", "certain", frozenset()
+                )
+                assert verdict in (None, True)
+
+    _run_threads(work)
+    # Bounds hold after the storm.
+    assert len(cache) <= 16
+    stats = cache.stats
+    assert stats.program_hits + stats.program_misses >= ROUNDS
+
+
+def test_concurrent_decision_layer_same_key():
+    """The decision layer has the same del/re-insert recency pattern."""
+    cache = SignatureProgramCache(max_programs=4, max_decisions=4)
+    signature = frozenset({7})
+    cache.store_decision(signature, "repair", "certain", frozenset(), True)
+
+    def work(_index: int) -> None:
+        for _ in range(ROUNDS):
+            verdict = cache.lookup_decision(
+                signature, "repair", "certain", frozenset()
+            )
+            assert verdict in (None, True)
+
+    _run_threads(work)
+
+
+def test_single_threaded_behavior_unchanged():
+    """The lock must not change single-threaded semantics: hits, misses,
+    LRU eviction order and invalidation counts stay exactly as before."""
+    cache = SignatureProgramCache(max_programs=2)
+    k1, k2, k3 = _keys(3)
+    cache.store_program(k1, [Fact("a", (1,))])
+    cache.store_program(k2, [Fact("a", (2,))])
+    assert cache.lookup_program(k1) == frozenset({Fact("a", (1,))})
+    cache.store_program(k3, [Fact("a", (3,))])  # evicts k2 (LRU)
+    assert cache.lookup_program(k2) is None
+    assert cache.lookup_program(k1) is not None
+    assert cache.stats.program_evictions == 1

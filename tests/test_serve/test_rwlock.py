@@ -1,0 +1,127 @@
+"""Tests for the writer-preferring readers–writer lock."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.rwlock import RWLock
+
+
+def test_readers_share():
+    lock = RWLock()
+    assert lock.acquire_read()
+    assert lock.acquire_read()
+    snapshot = lock.snapshot()
+    assert snapshot["readers"] == 2
+    lock.release_read()
+    lock.release_read()
+    assert lock.snapshot()["readers"] == 0
+
+
+def test_writer_excludes_readers_and_writers():
+    lock = RWLock()
+    assert lock.acquire_write()
+    assert not lock.acquire_read(timeout=0.05)
+    assert not lock.acquire_write(timeout=0.05)
+    lock.release_write()
+    assert lock.acquire_read(timeout=0.05)
+    lock.release_read()
+
+
+def test_reader_blocks_writer_until_released():
+    lock = RWLock()
+    lock.acquire_read()
+    assert not lock.acquire_write(timeout=0.05)
+    lock.release_read()
+    assert lock.acquire_write(timeout=0.5)
+    lock.release_write()
+
+
+def test_writer_preference_blocks_new_readers():
+    """Once a writer waits, later readers queue behind it — a steady
+    reader stream cannot starve the writer."""
+    lock = RWLock()
+    lock.acquire_read()
+    writer_done = threading.Event()
+
+    def writer() -> None:
+        lock.acquire_write()
+        writer_done.set()
+        lock.release_write()
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    # Wait for the writer to be registered as waiting.
+    for _ in range(100):
+        if lock.snapshot()["writers_waiting"]:
+            break
+        time.sleep(0.01)
+    assert lock.snapshot()["writers_waiting"] == 1
+    # A new reader must NOT get in ahead of the waiting writer.
+    assert not lock.acquire_read(timeout=0.05)
+    lock.release_read()
+    assert writer_done.wait(2.0)
+    thread.join()
+    # After the writer finishes, readers flow again.
+    assert lock.acquire_read(timeout=1.0)
+    lock.release_read()
+
+
+def test_context_managers():
+    lock = RWLock()
+    with lock.read_locked():
+        assert lock.snapshot()["readers"] == 1
+    with lock.write_locked():
+        assert lock.snapshot()["writer_active"]
+    assert lock.snapshot() == {
+        "readers": 0, "writer_active": False, "writers_waiting": 0,
+    }
+
+
+def test_release_without_acquire_raises():
+    lock = RWLock()
+    with pytest.raises(RuntimeError):
+        lock.release_write()
+    lock.acquire_read()
+    lock.release_read()
+    with pytest.raises(RuntimeError):
+        lock.release_read()
+
+
+def test_concurrent_invariant_never_reader_and_writer():
+    """Hammer: at no instant do an active writer and a reader coexist."""
+    lock = RWLock()
+    violations: list[str] = []
+    state = {"readers": 0, "writers": 0}
+    guard = threading.Lock()
+
+    def reader() -> None:
+        for _ in range(200):
+            with lock.read_locked():
+                with guard:
+                    state["readers"] += 1
+                    if state["writers"]:
+                        violations.append("reader during writer")
+                with guard:
+                    state["readers"] -= 1
+
+    def writer() -> None:
+        for _ in range(50):
+            with lock.write_locked():
+                with guard:
+                    state["writers"] += 1
+                    if state["writers"] > 1 or state["readers"]:
+                        violations.append("writer overlap")
+                with guard:
+                    state["writers"] -= 1
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    threads += [threading.Thread(target=writer) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert violations == []

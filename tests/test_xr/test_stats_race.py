@@ -1,0 +1,200 @@
+"""Scrape-overlap regression tests for engine stats publication.
+
+The serving tier scrapes ``/metrics`` and ``/healthz`` from their own
+threads while queries and updates are in flight, which turns the
+engine's stats attributes into concurrently-read shared state:
+
+- ``last_query_stats`` is copy-on-publish (one assignment of a fresh
+  deep copy) — a scraper must only ever see a complete snapshot, and
+  the copy it gets must share **no mutable containers** with the
+  engine's own (aliasing would let a later query mutate what the
+  scraper holds);
+- ``exchange_stats`` is rebuilt by ``refresh_exchange_stats`` after
+  every applied delta — also copy-on-publish, so a scraper reading
+  multiple fields mid-update sees either the old snapshot or the new
+  one, never a torn mix;
+- the one-time ``exchange()`` may be triggered by several first
+  queries at once and must materialize exactly once.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.parser import parse_mapping, parse_query
+from repro.relational import Fact, Instance
+from repro.xr.segmentary import QueryPhaseStats, SegmentaryEngine
+
+
+def f(rel, *args):
+    return Fact(rel, args)
+
+
+@pytest.fixture(autouse=True)
+def _tight_switch_interval():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+@pytest.fixture
+def mapping():
+    return parse_mapping(
+        """
+        SOURCE R/2. TARGET P/2.
+        R(x, y) -> P(x, y).
+        P(x, y), P(x, z) -> y = z.
+        """
+    )
+
+
+def conflicted_instance() -> Instance:
+    facts = [f("R", "a", "b"), f("R", "a", "c"), f("R", "d", "e")]
+    facts += [f("R", f"k{i}", f"v{i}") for i in range(6)]
+    return Instance(facts)
+
+
+def test_stats_copy_shares_no_mutable_state(mapping):
+    """The accessor's deep copy must be aliasing-free: mutating what a
+    scraper got back can never leak into the engine's snapshot."""
+    engine = SegmentaryEngine(mapping, conflicted_instance())
+    query = parse_query("q(x) :- P(x, y).")
+    engine.answer(query)
+    scraped = engine.last_query_stats
+    scraped.program_seconds.append(999.0)
+    scraped.solver_stats["corrupted"] = 1
+    scraped.unknown_candidates.add(("corrupted",))
+    fresh = engine.last_query_stats
+    assert 999.0 not in fresh.program_seconds
+    assert "corrupted" not in fresh.solver_stats
+    assert ("corrupted",) not in fresh.unknown_candidates
+
+
+def test_scrape_thread_never_sees_torn_query_stats(mapping):
+    """A scraper hammering ``last_query_stats`` during live queries must
+    always get an internally consistent snapshot."""
+    engine = SegmentaryEngine(mapping, conflicted_instance())
+    queries = [
+        parse_query("q(x) :- P(x, y)."),
+        parse_query("q(x, y) :- P(x, y)."),
+        parse_query("q() :- P(x, y)."),
+    ]
+    expected = {
+        text: engine.answer(query)
+        for text, query in zip("abc", queries)
+    }
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def scraper() -> None:
+        try:
+            while not stop.is_set():
+                stats = engine.last_query_stats
+                assert isinstance(stats, QueryPhaseStats)
+                # Internal consistency: a published snapshot always has
+                # its phase totals covering its parts.
+                assert stats.candidates >= stats.safe_candidates
+                assert stats.seconds >= 0
+                assert len(stats.program_seconds) <= max(
+                    stats.programs_solved, len(stats.program_seconds)
+                )
+                # Mutating the copy must be harmless (it is a copy).
+                stats.solver_stats["scraper"] = 1
+                exchange = engine.exchange_stats
+                assert exchange.chased_facts >= exchange.source_facts >= 0
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=scraper) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(30):
+            for text, query in zip("abc", queries):
+                assert engine.answer(query) == expected[text]
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    if errors:
+        raise errors[0]
+    assert "scraper" not in engine.last_query_stats.solver_stats
+
+
+def test_scrape_overlapping_updates_sees_no_torn_exchange_stats(mapping):
+    """``refresh_exchange_stats`` swaps in a fresh object; a scraper
+    overlapping applied deltas reads either the old or the new snapshot
+    (source-fact count consistent with either state, never a mix)."""
+    engine = SegmentaryEngine(mapping, conflicted_instance())
+    session = engine.update_session()
+    from repro.incremental import Delta
+
+    extra = f("R", "zz", "zz")
+    baseline = engine.exchange_stats.source_facts
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def scraper() -> None:
+        try:
+            while not stop.is_set():
+                stats = engine.exchange_stats
+                # Either pre- or post-delta, never a half-applied count.
+                assert stats.source_facts in (baseline, baseline + 1)
+                assert stats.chased_facts >= stats.source_facts
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=scraper) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(25):
+            session.apply(Delta(inserts=frozenset({extra})))
+            session.apply(Delta(retracts=frozenset({extra})))
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    if errors:
+        raise errors[0]
+
+
+def test_concurrent_first_queries_materialize_exchange_once(mapping):
+    """Racing first queries must trigger exactly one exchange phase."""
+    engine = SegmentaryEngine(mapping, conflicted_instance())
+    from repro.xr import segmentary as segmentary_module
+
+    calls = []
+    original = segmentary_module.build_exchange_data
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return original(*args, **kwargs)
+
+    segmentary_module.build_exchange_data = counting
+    try:
+        query = parse_query("q(x) :- P(x, y).")
+        results: list[set] = [None] * 6  # type: ignore[list-item]
+        barrier = threading.Barrier(6)
+
+        def work(index: int) -> None:
+            barrier.wait()
+            results[index] = engine.answer(query)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        segmentary_module.build_exchange_data = original
+    assert len(calls) == 1
+    assert len({frozenset(result) for result in results}) == 1
