@@ -15,11 +15,14 @@ from repro.bench.micro import (
     MICRO_QUERIES,
     MICRO_RATES,
     MICRO_SIZES,
+    MICRO_TPCH_CELLS,
+    STRATEGY_STAGES,
     compare_payloads,
     format_micro_table,
     micro_scenario_names,
     run_micro,
     run_micro_scenario,
+    run_tpch_micro_scenario,
 )
 from repro.bench.reporting import (
     format_series,
@@ -40,11 +43,14 @@ __all__ = [
     "MICRO_QUERIES",
     "MICRO_RATES",
     "MICRO_SIZES",
+    "MICRO_TPCH_CELLS",
+    "STRATEGY_STAGES",
     "compare_payloads",
     "format_micro_table",
     "micro_scenario_names",
     "run_micro",
     "run_micro_scenario",
+    "run_tpch_micro_scenario",
     "format_series",
     "format_table",
     "machine_info",

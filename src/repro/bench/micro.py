@@ -18,7 +18,22 @@ Three measured stages, per genomics scenario (size × suspect rate):
 - **incremental** — one single-tuple delta (retract + re-insert of a
   suspect source fact, the cluster-touching worst case) applied through
   :class:`~repro.incremental.UpdateSession`, against the full re-exchange
-  baseline; the reported ``speedup`` is the PR 7 acceptance number.
+  baseline; the reported ``speedup`` is the PR 7 acceptance number;
+- **exchange strategy** — the exchange phase re-measured under **both**
+  chase strategies (set-at-a-time ``batch`` vs the per-tuple reference),
+  interleaved so scheduler drift hits both alike, with the per-strategy
+  medians over the strategy-dependent stages (chase + groundings +
+  violations) and their ratio emitted as ``exchange_strategy_s`` (the
+  PR 10 acceptance number); the two runs' exchange data is asserted
+  bit-identical before the ratio is reported.
+
+Scenario names are either genomics grid cells (``"M9"``) or TPC-H grid
+cells (``"tpch-sf0.01-r0.2"``, see :mod:`repro.scenarios.tpch`).  TPC-H
+rows carry the exchange and exchange-strategy stages only — the genomics
+query/solve/incremental stages are tied to the genomics query set.  Every
+row embeds a ``meta`` object (scenario family, exchange strategy, and the
+stage labels actually observed in that run) so artifacts stay
+self-describing as stages evolve.
 
 The paper's practicality claim (§5–§6) rests on the first two stages
 being PTIME-cheap so the NP-hard solving dominates; these benchmarks
@@ -35,6 +50,7 @@ post-optimization artifact (see ``benchmarks/README.md``).
 
 from __future__ import annotations
 
+import gc
 import statistics
 import time
 from typing import Callable
@@ -45,6 +61,7 @@ from repro.genomics.queries import query_by_name
 from repro.genomics.schema import genome_mapping
 from repro.obs.recorder import Recorder
 from repro.reduction.reduce import ReducedMapping, reduce_mapping
+from repro.scenarios.tpch import parse_tpch_name, tpch_scenario
 from repro.xr.envelope import analyze_envelopes
 from repro.xr.exchange import build_exchange_data
 from repro.xr.segmentary import SegmentaryEngine
@@ -62,17 +79,34 @@ MICRO_RATES: tuple[float, ...] = (0.0, 0.03, 0.09, 0.20)
 #: varied enough to build programs of every signature shape.
 MICRO_QUERIES: tuple[str, ...] = ("ep2", "xr2", "xr4")
 
+#: TPC-H cells appended to the default grid: two SF 0.01 cells (clean and
+#: 20 % injected) plus one larger cell so the batch-vs-tuple ratio is
+#: measured away from fixed-cost territory.
+MICRO_TPCH_CELLS: tuple[str, ...] = (
+    "tpch-sf0.01-r0",
+    "tpch-sf0.01-r0.2",
+    "tpch-sf0.03-r0.2",
+)
+
+#: Exchange stages whose cost depends on the chase strategy.  Interning,
+#: fact-index, and envelope construction are shared code on both paths;
+#: the ``exchange_strategy_s`` ratio is computed over these stages only.
+STRATEGY_STAGES: tuple[str, ...] = ("chase", "groundings", "violations")
+
 
 def micro_scenario_names(
     sizes: dict[str, int] | None = None,
     rates: tuple[float, ...] | None = None,
+    tpch_cells: tuple[str, ...] | None = None,
 ) -> list[str]:
-    """The default scenario grid, e.g. ``["S0", "S3", ..., "L20"]``."""
+    """The default scenario grid: genomics cells then TPC-H cells, e.g.
+    ``["S0", "S3", ..., "L20", "tpch-sf0.01-r0", ...]``."""
     sizes = MICRO_SIZES if sizes is None else sizes
     rates = MICRO_RATES if rates is None else rates
+    tpch_cells = MICRO_TPCH_CELLS if tpch_cells is None else tpch_cells
     return [
         f"{size}{int(round(rate * 100))}" for size in sizes for rate in rates
-    ]
+    ] + list(tpch_cells)
 
 
 def parse_scenario_name(name: str) -> InstanceProfile:
@@ -91,14 +125,96 @@ def _median(values: list[float]) -> float:
     return statistics.median(values) if values else 0.0
 
 
+def _stage_labels(runs: list[dict[str, float]]) -> list[str]:
+    """The stage labels a set of timing runs actually produced, in
+    first-seen order.  Derived per run rather than hardcoded so payloads
+    stay honest when the exchange pipeline grows or drops a stage."""
+    labels: list[str] = []
+    for run in runs:
+        for key in run:
+            if key not in labels:
+                labels.append(key)
+    return labels
+
+
+def _measure_exchange(
+    gav,
+    instance,
+    repeats: int,
+    obs: Recorder | None,
+    strategy: str,
+) -> tuple[list[dict[str, float]], object, object]:
+    """The shared exchange-stage measurement loop (genomics and TPC-H)."""
+    exchange_runs: list[dict[str, float]] = []
+    data = None
+    analysis = None
+    for _ in range(max(1, repeats)):
+        timings: dict[str, float] = {}
+        started = time.perf_counter()
+        data = build_exchange_data(
+            gav, instance, timings=timings, obs=obs, strategy=strategy
+        )
+        built_at = time.perf_counter()
+        analysis = analyze_envelopes(data)
+        done = time.perf_counter()
+        timings["envelope"] = done - built_at
+        timings["total"] = done - started
+        timings["build_total"] = built_at - started
+        exchange_runs.append(timings)
+    assert data is not None and analysis is not None
+    return exchange_runs, data, analysis
+
+
+def _exchange_strategy_series(gav, instance, repeats: int, label: str) -> dict:
+    """Per-strategy exchange-phase medians and their ratio.
+
+    Strategies are interleaved within each repeat so clock drift and
+    scheduler noise hit both alike, and the ratio is taken over the
+    strategy-dependent stages (:data:`STRATEGY_STAGES`) — the shared
+    interning/index/envelope costs would otherwise dilute it on small
+    instances.  The two strategies' exchange data must be bit-identical;
+    a mismatch is a correctness bug, not a benchmark artifact.
+    """
+    per: dict[str, list[float]] = {"batch": [], "tuple": []}
+    datas: dict[str, object] = {}
+    for strategy in per:  # warm-up, excluded from the medians
+        datas[strategy] = build_exchange_data(gav, instance, strategy=strategy)
+    # A fragmented/large live heap from earlier stages slows the
+    # allocation-heavy batch path disproportionately; start clean.
+    gc.collect()
+    for _ in range(max(1, repeats)):
+        for strategy in per:
+            timings: dict[str, float] = {}
+            datas[strategy] = build_exchange_data(
+                gav, instance, timings=timings, strategy=strategy
+            )
+            per[strategy].append(
+                sum(timings.get(stage, 0.0) for stage in STRATEGY_STAGES)
+            )
+    batch_data, tuple_data = datas["batch"], datas["tuple"]
+    for field in ("chased", "groundings", "violations", "fact_ids"):
+        assert getattr(batch_data, field) == getattr(tuple_data, field), (
+            f"exchange-strategy {field} mismatch on {label}"
+        )
+    batch = _median(per["batch"])
+    tuple_ = _median(per["tuple"])
+    return {
+        "stages": list(STRATEGY_STAGES),
+        "batch": round(batch, 6),
+        "tuple": round(tuple_, 6),
+        "speedup": round(tuple_ / batch, 2) if batch > 0 else float("inf"),
+    }
+
+
 def run_micro_scenario(
     name: str,
     reduced: ReducedMapping | None = None,
     repeats: int = 3,
     queries: tuple[str, ...] = MICRO_QUERIES,
     obs: Recorder | None = None,
+    exchange_strategy: str = "batch",
 ) -> dict:
-    """Measure one scenario; returns the per-stage median timing payload.
+    """Measure one genomics scenario; returns the per-stage median payload.
 
     With a live ``obs`` recorder the run is *traced* — per-phase spans and
     work counters are recorded alongside the timings, at the cost of
@@ -110,22 +226,15 @@ def run_micro_scenario(
         reduced = reduce_mapping(genome_mapping())
     instance = build_instance(profile).instance
 
-    exchange_runs: list[dict[str, float]] = []
-    counts: dict[str, int] = {}
-    data = None
-    analysis = None
-    for _ in range(max(1, repeats)):
-        timings: dict[str, float] = {}
-        started = time.perf_counter()
-        data = build_exchange_data(reduced.gav, instance, timings=timings, obs=obs)
-        built_at = time.perf_counter()
-        analysis = analyze_envelopes(data)
-        done = time.perf_counter()
-        timings["envelope"] = done - built_at
-        timings["total"] = done - started
-        timings["build_total"] = built_at - started
-        exchange_runs.append(timings)
-    assert data is not None and analysis is not None
+    exchange_runs, data, analysis = _measure_exchange(
+        reduced.gav, instance, repeats, obs, exchange_strategy
+    )
+    # Measure the strategy series while the heap still looks like the
+    # exchange stage's — the solve/incremental stages below leave enough
+    # live garbage to skew an allocation-sensitive comparison.
+    strategy_series = _exchange_strategy_series(
+        reduced.gav, instance, repeats, name
+    )
     counts = {
         "source_facts": len(instance),
         "chased_facts": len(data.chased),
@@ -179,10 +288,13 @@ def run_micro_scenario(
         engine.close()
         legacy_solve_runs.append(legacy_solve)
 
+    # Stage labels come from the timing dicts themselves (a hardcoded
+    # label tuple silently zeroed any stage the exchange pipeline renamed
+    # or added after it was written).
+    stages = _stage_labels(exchange_runs)
     exchange_medians = {
         key: _median([run.get(key, 0.0) for run in exchange_runs])
-        for key in ("chase", "groundings", "violations", "index",
-                    "envelope", "build_total", "total")
+        for key in stages
     }
     query_medians = {
         key: _median([run[key] for run in query_runs])
@@ -235,13 +347,74 @@ def run_micro_scenario(
             "transcripts": profile.transcripts,
             "suspect_rate": profile.suspect_fraction,
         },
+        "meta": {
+            "scenario_family": "genomics",
+            "exchange_strategy": exchange_strategy,
+            "stages": stages,
+        },
         "counts": counts,
         "exchange_s": exchange_medians,
+        "exchange_strategy_s": strategy_series,
         "query_s": query_medians,
         "solve_strategy_s": solve_strategies,
         "incremental_s": incremental,
         "programs_solved": programs_solved,
         "answers": answers,
+    }
+
+
+def run_tpch_micro_scenario(
+    name: str,
+    repeats: int = 3,
+    obs: Recorder | None = None,
+    exchange_strategy: str = "batch",
+) -> dict:
+    """Measure one TPC-H grid cell (``"tpch-sf0.01-r0.2"``).
+
+    TPC-H rows carry the exchange stage and the batch-vs-tuple
+    ``exchange_strategy_s`` series; the query/solve/incremental stages
+    are genomics-specific and absent here (consumers must treat them as
+    optional — :func:`format_micro_table` and :func:`compare_payloads`
+    do).
+    """
+    scale, ratio = parse_tpch_name(name)
+    scenario = tpch_scenario(scale, ratio, seed=0)
+    reduced = reduce_mapping(scenario.mapping)
+    instance = scenario.instance
+
+    exchange_runs, data, analysis = _measure_exchange(
+        reduced.gav, instance, repeats, obs, exchange_strategy
+    )
+    stages = _stage_labels(exchange_runs)
+    exchange_medians = {
+        key: _median([run.get(key, 0.0) for run in exchange_runs])
+        for key in stages
+    }
+    return {
+        "profile": {
+            "name": name,
+            "scale": scale,
+            "ratio": ratio,
+            "seed": scenario.seed,
+        },
+        "meta": {
+            "scenario_family": "tpch",
+            "exchange_strategy": exchange_strategy,
+            "stages": stages,
+        },
+        "counts": {
+            "source_facts": len(instance),
+            "injected_facts": len(scenario.injected),
+            "chased_facts": len(data.chased),
+            "groundings": len(data.groundings),
+            "violations": len(data.violations),
+            "clusters": len(analysis.clusters),
+            "suspect_source_facts": len(analysis.suspect_source),
+        },
+        "exchange_s": exchange_medians,
+        "exchange_strategy_s": _exchange_strategy_series(
+            reduced.gav, instance, repeats, name
+        ),
     }
 
 
@@ -251,6 +424,7 @@ def run_micro(
     queries: tuple[str, ...] = MICRO_QUERIES,
     log: Callable[[str], None] | None = None,
     obs: Recorder | None = None,
+    exchange_strategy: str = "batch",
 ) -> dict:
     """Run the micro-benchmark grid and return the artifact payload."""
     if scenarios is None:
@@ -259,21 +433,35 @@ def run_micro(
     results: dict[str, dict] = {}
     for name in scenarios:
         started = time.perf_counter()
-        results[name] = run_micro_scenario(
-            name, reduced=reduced, repeats=repeats, queries=queries, obs=obs
-        )
+        if name.startswith("tpch-"):
+            results[name] = run_tpch_micro_scenario(
+                name, repeats=repeats, obs=obs,
+                exchange_strategy=exchange_strategy,
+            )
+        else:
+            results[name] = run_micro_scenario(
+                name, reduced=reduced, repeats=repeats, queries=queries,
+                obs=obs, exchange_strategy=exchange_strategy,
+            )
         if log is not None:
             row = results[name]
+            parts = [f"exchange {row['exchange_s']['total']:.3f}s"]
+            query_s = row.get("query_s")
+            if query_s is not None:
+                parts.append(f"program-build {query_s['program_build']:.3f}s")
+                parts.append(f"solve {query_s['solve']:.3f}s")
+            strategy_s = row.get("exchange_strategy_s")
+            if strategy_s is not None:
+                parts.append(f"batch/tuple {strategy_s['speedup']:.2f}x")
             log(
-                f"{name:>4}: exchange {row['exchange_s']['total']:.3f}s  "
-                f"program-build {row['query_s']['program_build']:.3f}s  "
-                f"solve {row['query_s']['solve']:.3f}s  "
-                f"({time.perf_counter() - started:.1f}s wall)"
+                f"{name:>4}: " + "  ".join(parts)
+                + f"  ({time.perf_counter() - started:.1f}s wall)"
             )
     return {
         "kind": "repro-micro-benchmark",
         "repeats": repeats,
         "queries": list(queries),
+        "exchange_strategy": exchange_strategy,
         "scenarios": results,
     }
 
@@ -284,6 +472,8 @@ def format_micro_table(payload: dict) -> str:
     for name, row in payload["scenarios"].items():
         incremental = row.get("incremental_s")  # absent in pre-PR7 payloads
         strategies = row.get("solve_strategy_s")  # absent in pre-PR8 payloads
+        exchange_strategies = row.get("exchange_strategy_s")  # pre-PR10
+        query_s = row.get("query_s")  # absent on TPC-H rows
         rows.append(
             [
                 name,
@@ -291,8 +481,10 @@ def format_micro_table(payload: dict) -> str:
                 row["counts"]["groundings"],
                 row["counts"]["suspect_source_facts"],
                 f"{row['exchange_s']['total']:.3f}",
-                f"{row['query_s']['program_build']:.3f}",
-                f"{row['query_s']['solve']:.3f}",
+                f"{exchange_strategies['speedup']:.1f}x"
+                if exchange_strategies else "-",
+                f"{query_s['program_build']:.3f}" if query_s else "-",
+                f"{query_s['solve']:.3f}" if query_s else "-",
                 f"{strategies['speedup']:.1f}x" if strategies else "-",
                 f"{incremental['single_delta']:.4f}" if incremental else "-",
                 f"{incremental['speedup']:.1f}x" if incremental else "-",
@@ -300,7 +492,7 @@ def format_micro_table(payload: dict) -> str:
         )
     return format_table(
         ["scenario", "facts", "groundings", "suspects",
-         "exchange[s]", "build[s]", "solve[s]", "strategy",
+         "exchange[s]", "batch", "build[s]", "solve[s]", "strategy",
          "1-delta[s]", "incr"],
         rows,
         title=f"micro-benchmark medians over {payload['repeats']} repeat(s)",
@@ -319,18 +511,22 @@ def compare_payloads(before: dict, after: dict) -> dict:
         pairs = [
             ("exchange", before_row["exchange_s"]["total"],
              after_row["exchange_s"]["total"]),
-            ("program_build", before_row["query_s"]["program_build"],
-             after_row["query_s"]["program_build"]),
-            ("solve", before_row["query_s"]["solve"],
-             after_row["query_s"]["solve"]),
-            (
-                "exchange_plus_build",
-                before_row["exchange_s"]["total"]
-                + before_row["query_s"]["program_build"],
-                after_row["exchange_s"]["total"]
-                + after_row["query_s"]["program_build"],
-            ),
         ]
+        before_query = before_row.get("query_s")
+        after_query = after_row.get("query_s")
+        if before_query is not None and after_query is not None:
+            pairs.extend([
+                ("program_build", before_query["program_build"],
+                 after_query["program_build"]),
+                ("solve", before_query["solve"], after_query["solve"]),
+                (
+                    "exchange_plus_build",
+                    before_row["exchange_s"]["total"]
+                    + before_query["program_build"],
+                    after_row["exchange_s"]["total"]
+                    + after_query["program_build"],
+                ),
+            ])
         for stage, before_s, after_s in pairs:
             entry[stage] = round(before_s / after_s, 3) if after_s > 0 else float("inf")
         speedups[name] = entry

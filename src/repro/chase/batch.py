@@ -1,0 +1,725 @@
+"""Set-at-a-time batch evaluation for the exchange phase.
+
+The tuple-at-a-time evaluator (:mod:`repro.chase.gav`,
+:mod:`repro.relational.queries`) walks one candidate fact at a time and
+copies a binding dict per successful match.  This module replaces those
+inner loops with **batch operators** over tuple rows:
+
+- a binding is a plain ``tuple`` of values laid out by a fixed
+  variable-to-slot assignment compiled per rule (no dicts, no copies);
+- each join level is a compiled :class:`_AtomStep` probing a multi-column
+  **hash index** over the relation extension — built once per
+  (relation, key-positions) signature, shared across rules, and maintained
+  incrementally as the chase derives new facts;
+- constant filters and repeated-variable checks are folded into the index
+  build, so they run once per stored fact instead of once per probe.
+
+A small **planner** (:func:`plan_mode`) picks the execution mode per rule:
+
+- ``nested`` — the relations involved are tiny; fall back to the existing
+  compiled nested-loop join (index build would cost more than it saves);
+- ``hash`` — the default batch hash join described above;
+- ``sqlite`` — the relations involved are large enough that pushing the
+  join down into SQLite (via :mod:`repro.storage.sqlite_store`) wins: the
+  instance is mirrored once into an in-memory store and each rule body
+  becomes one SELECT over the ``rel_<name>`` tables.
+
+The chase itself only ever uses ``nested``/``hash`` (its extensions grow
+every round, so a SQLite mirror would be rebuilt per round); the one-shot
+post-chase joins — grounding enumeration and violation detection — use the
+full planner.  Every mode produces the same row *set*; order differences
+are absorbed by the canonical sorting in :mod:`repro.xr.exchange`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from operator import itemgetter
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.dependencies.egds import EGD
+from repro.dependencies.tgds import TGD, SkolemTerm
+from repro.relational.instance import Fact, Instance
+from repro.relational.queries import Atom, match_atoms, plan_join_order
+from repro.relational.terms import Const, SkolemValue, Variable, is_constant_value
+
+
+@dataclass(frozen=True)
+class BatchOptions:
+    """Planner thresholds (see :func:`plan_mode`).
+
+    ``nested_threshold`` is the largest *total* extension size (sum over
+    the body's relations) still handled by the nested-loop fallback;
+    ``sqlite_threshold`` is the smallest total extension size at which the
+    one-shot joins are pushed down into SQLite.  Tests force
+    ``sqlite_threshold`` low to exercise the push-down on small instances.
+    """
+
+    nested_threshold: int = 16
+    sqlite_threshold: int = 100_000
+
+
+DEFAULT_OPTIONS = BatchOptions()
+
+
+def plan_mode(
+    instance: Instance, atoms: Sequence[Atom], options: BatchOptions
+) -> str:
+    """Choose ``nested`` / ``hash`` / ``sqlite`` for one body join."""
+    total = sum(len(instance.facts_of(atom.relation)) for atom in atoms)
+    if total <= options.nested_threshold:
+        return "nested"
+    if total >= options.sqlite_threshold:
+        return "sqlite"
+    return "hash"
+
+
+# --------------------------------------------------------------- compilation
+
+
+def _key_projector(positions: Sequence[int]) -> Callable[[Sequence], Any]:
+    """A compiled index-key projection: scalar for one column, tuple else."""
+    if not positions:
+        return lambda values: ()
+    return itemgetter(*positions)
+
+
+def _tuple_projector(positions: Sequence[int]) -> Callable[[Sequence], tuple]:
+    """A compiled projection that always yields a tuple (row extension)."""
+    if not positions:
+        return lambda values: ()
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda values: (values[position],)
+    return itemgetter(*positions)
+
+
+class _AtomStep:
+    """One join level of a batch plan, compiled for a fixed slot layout.
+
+    ``key_positions``/``key_slots`` pair fact argument positions with the
+    row slots they must equal (bound variables, including a variable bound
+    twice within this atom); ``const_checks`` and ``same_checks`` are
+    folded into the index build; ``new_positions`` are projected into the
+    row extension, binding fresh slots in first-occurrence order.
+    """
+
+    __slots__ = (
+        "relation",
+        "key_positions",
+        "key_slots",
+        "const_checks",
+        "same_checks",
+        "new_positions",
+        "key_of_args",
+        "ext_of_args",
+        "key_of_row",
+        "signature",
+    )
+
+    def __init__(self, atom: Atom, layout: dict[Variable, int]) -> None:
+        self.relation = atom.relation
+        key_positions: list[int] = []
+        key_slots: list[int] = []
+        const_checks: list[tuple[int, Any]] = []
+        same_checks: list[tuple[int, int]] = []
+        new_positions: list[int] = []
+        first_here: dict[Variable, int] = {}
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                slot = layout.get(term)
+                if slot is not None:
+                    key_positions.append(position)
+                    key_slots.append(slot)
+                elif term in first_here:
+                    same_checks.append((first_here[term], position))
+                else:
+                    first_here[term] = position
+                    new_positions.append(position)
+            elif isinstance(term, Const):
+                const_checks.append((position, term.value))
+            else:
+                raise TypeError(f"unexpected body term {term!r}")
+        for variable, position in first_here.items():
+            layout[variable] = len(layout)
+        self.key_positions = tuple(key_positions)
+        self.key_slots = tuple(key_slots)
+        self.const_checks = tuple(const_checks)
+        self.same_checks = tuple(same_checks)
+        self.new_positions = tuple(new_positions)
+        # Compiled projections: a single-column key stays a scalar (both
+        # sides of the index agree), a multi-column key is itemgetter's
+        # tuple; extensions are always tuples (rows concatenate them).
+        self.key_of_args = _key_projector(self.key_positions)
+        self.key_of_row = _key_projector(self.key_slots)
+        self.ext_of_args = _tuple_projector(self.new_positions)
+        # Everything admit() looks at: two steps with equal signatures
+        # build identical indexes, so the cache can share one.
+        self.signature = (
+            self.relation,
+            self.key_positions,
+            self.const_checks,
+            self.same_checks,
+            self.new_positions,
+        )
+
+    def admit(self, fact: Fact) -> tuple[Any, tuple] | None:
+        """``(key, extension)`` for a fact passing the folded filters."""
+        args = fact.args
+        for position, value in self.const_checks:
+            if args[position] != value:
+                return None
+        for left, right in self.same_checks:
+            if args[left] != args[right]:
+                return None
+        return (self.key_of_args(args), self.ext_of_args(args))
+
+
+class _IndexCache:
+    """Hash indexes over one instance, maintained incrementally.
+
+    Keyed by step *signature* (relation, key positions, folded filters,
+    projection): plans that join the same relation the same way — e.g.
+    the two self-join atoms of every key egd over one relation — share a
+    single index.  Each index is built exactly once from the extension
+    and then extended fact-by-fact as the chase derives new rows
+    (:meth:`add_fact`).
+    """
+
+    __slots__ = ("instance", "_by_signature", "_by_relation")
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self._by_signature: dict[tuple, dict] = {}
+        self._by_relation: dict[str, list[tuple[_AtomStep, dict]]] = {}
+
+    def index_for(self, step: _AtomStep) -> dict[Any, list[tuple]]:
+        index = self._by_signature.get(step.signature)
+        if index is None:
+            index = {}
+            admit = step.admit
+            for fact in self.instance.facts_of(step.relation):
+                entry = admit(fact)
+                if entry is not None:
+                    index.setdefault(entry[0], []).append((entry[1], fact))
+            self._by_signature[step.signature] = index
+            self._by_relation.setdefault(step.relation, []).append(
+                (step, index)
+            )
+        return index
+
+    def add_fact(self, fact: Fact) -> None:
+        for step, index in self._by_relation.get(fact.relation, ()):
+            entry = step.admit(fact)
+            if entry is not None:
+                index.setdefault(entry[0], []).append((entry[1], fact))
+
+
+def _probe(
+    step: _AtomStep, index: dict[Any, list[tuple]], rows: list[tuple]
+) -> list[tuple]:
+    key_of_row = step.key_of_row
+    out: list[tuple] = []
+    append = out.append
+    get = index.get
+    for row in rows:
+        bucket = get(key_of_row(row))
+        if bucket:
+            for extension, _fact in bucket:
+                append(row + extension)
+    return out
+
+
+def _probe_tracked(
+    step: _AtomStep,
+    index: dict[Any, list[tuple]],
+    rows: list[tuple[tuple, tuple]],
+) -> list[tuple[tuple, tuple]]:
+    """Like :func:`_probe`, but rows are ``(values, provenance facts)``.
+
+    Provenance rows let grounding enumeration emit the matched body facts
+    without re-instantiating them by substitution — the contributing
+    stored fact rides along with every probe extension.
+    """
+    key_of_row = step.key_of_row
+    out: list[tuple[tuple, tuple]] = []
+    append = out.append
+    get = index.get
+    for values, facts in rows:
+        bucket = get(key_of_row(values))
+        if bucket:
+            for extension, fact in bucket:
+                append((values + extension, facts + (fact,)))
+    return out
+
+
+_VAR, _CONST, _SKOLEM = 0, 1, 2
+
+
+def compile_slot_head(
+    rule: TGD, layout: dict[Variable, int]
+) -> Callable[[tuple], Fact]:
+    """The head grounder of a GAV rule, compiled against a slot layout."""
+    atom = rule.head[0]
+    relation = atom.relation
+    ops: list[tuple[int, Any]] = []
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            ops.append((_VAR, layout[term]))
+        elif isinstance(term, Const):
+            ops.append((_CONST, term.value))
+        elif isinstance(term, SkolemTerm):
+            arg_ops = tuple(
+                (True, layout[argument])
+                if isinstance(argument, Variable)
+                else (False, argument.value)
+                for argument in term.args
+            )
+            ops.append((_SKOLEM, (term.function, arg_ops)))
+        else:
+            raise TypeError(f"unexpected head term {term!r}")
+
+    if all(kind == _VAR for kind, _payload in ops):
+        # The common GAV case (no constants, no skolems): the head args
+        # are a plain projection of the row.
+        project = _tuple_projector([payload for _kind, payload in ops])
+
+        def ground_projection(row: tuple) -> Fact:
+            return Fact(relation, project(row))
+
+        return ground_projection
+
+    def ground(row: tuple) -> Fact:
+        args = []
+        for kind, payload in ops:
+            if kind == _VAR:
+                args.append(row[payload])
+            elif kind == _CONST:
+                args.append(payload)
+            else:
+                function, arg_ops = payload
+                args.append(
+                    SkolemValue(
+                        function,
+                        tuple(
+                            row[value] if is_var else value
+                            for is_var, value in arg_ops
+                        ),
+                    )
+                )
+        return Fact(relation, args)
+
+    return ground
+
+
+def compile_slot_substituter(
+    atom: Atom, layout: dict[Variable, int]
+) -> Callable[[tuple], Fact]:
+    """A body-atom instantiator (variables/constants), row-slot based."""
+    relation = atom.relation
+    ops = tuple(
+        (True, layout[term])
+        if isinstance(term, Variable)
+        else (False, term.value)
+        for term in atom.terms
+    )
+
+    def substitute(row: tuple) -> Fact:
+        return Fact(
+            relation,
+            [row[slot] if is_var else slot for is_var, slot in ops],
+        )
+
+    return substitute
+
+
+# ------------------------------------------------------------- full-body join
+
+
+class _BodyPlan:
+    """A compiled full-body join: every atom is a probe step.
+
+    Rows start as the empty tuple and grow one atom at a time in the
+    planned order; the slot layout is the first-occurrence order of the
+    variables along that order.
+    """
+
+    __slots__ = ("atoms", "steps", "layout", "body_order")
+
+    def __init__(self, instance: Instance, atoms: Sequence[Atom]) -> None:
+        original = list(atoms)
+        self.atoms = list(plan_join_order(instance, original, set()))
+        # Recover each planned atom's original position (by object
+        # identity — a body may contain equal atoms twice), so provenance
+        # tuples in join order can be reordered back to body order.
+        join_to_body: list[int] = []
+        taken: set[int] = set()
+        for atom in self.atoms:
+            for index, candidate in enumerate(original):
+                if index not in taken and candidate is atom:
+                    taken.add(index)
+                    join_to_body.append(index)
+                    break
+        inverse = [0] * len(original)
+        for join_position, body_index in enumerate(join_to_body):
+            inverse[body_index] = join_position
+        self.body_order = tuple(inverse)
+        self.layout: dict[Variable, int] = {}
+        self.steps = [_AtomStep(atom, self.layout) for atom in self.atoms]
+
+    def rows_hash(self, cache: _IndexCache) -> list[tuple]:
+        rows: list[tuple] = [()]
+        for step in self.steps:
+            rows = _probe(step, cache.index_for(step), rows)
+            if not rows:
+                return rows
+        return rows
+
+    def rows_hash_tracked(
+        self, cache: _IndexCache
+    ) -> list[tuple[tuple, tuple]]:
+        """Hash-join rows with the matched facts riding along.
+
+        Each result is ``(values, facts-in-join-order)``; reorder the
+        facts through :attr:`body_order` to recover the body-order tuple.
+        """
+        rows: list[tuple[tuple, tuple]] = [((), ())]
+        for step in self.steps:
+            rows = _probe_tracked(step, cache.index_for(step), rows)
+            if not rows:
+                return rows
+        return rows
+
+    def rows_nested(self, instance: Instance) -> list[tuple]:
+        order = [
+            variable
+            for variable, _slot in sorted(
+                self.layout.items(), key=lambda item: item[1]
+            )
+        ]
+        return [
+            tuple(binding[variable] for variable in order)
+            for binding in match_atoms(instance, self.atoms)
+        ]
+
+    def rows_sqlite(self, mirror: "_SQLiteMirror") -> list[tuple]:
+        return mirror.join_rows(self.atoms, self.layout)
+
+
+class _SQLiteMirror:
+    """A lazy in-memory SQLite copy of one instance for join push-down.
+
+    Built at most once per batch context; each body join becomes a single
+    SELECT over the mirrored ``rel_<name>`` tables with equality
+    conditions for shared variables and encoded-constant filters.  Raises
+    ``TypeError`` for unencodable values (callers fall back to hash mode).
+    """
+
+    __slots__ = ("instance", "_store", "_failed")
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self._store = None
+        self._failed = False
+
+    def _ensure_store(self):
+        if self._failed:
+            raise TypeError("instance not representable in the SQLite mirror")
+        if self._store is None:
+            from repro.storage.sqlite_store import SQLiteInstanceStore
+
+            store = SQLiteInstanceStore(":memory:")
+            try:
+                store.save(self.instance)
+            except TypeError:
+                self._failed = True
+                store.close()
+                raise
+            self._store = store
+        return self._store
+
+    def join_rows(
+        self, atoms: Sequence[Atom], layout: dict[Variable, int]
+    ) -> list[tuple]:
+        from repro.storage.sqlite_store import decode_value, encode_value
+
+        if any(
+            not self.instance.facts_of(atom.relation) for atom in atoms
+        ):
+            return []
+        store = self._ensure_store()
+        first_seen: dict[Variable, str] = {}
+        conditions: list[str] = []
+        parameters: list[str] = []
+        tables: list[str] = []
+        for index, atom in enumerate(atoms):
+            alias = f"t{index}"
+            tables.append(f'"rel_{atom.relation}" {alias}')
+            for position, term in enumerate(atom.terms):
+                column = f"{alias}.c{position}"
+                if isinstance(term, Variable):
+                    if term in first_seen:
+                        conditions.append(f"{column} = {first_seen[term]}")
+                    else:
+                        first_seen[term] = column
+                elif isinstance(term, Const):
+                    conditions.append(f"{column} = ?")
+                    parameters.append(encode_value(term.value))
+                else:
+                    raise TypeError(f"unexpected body term {term!r}")
+        columns = [
+            column
+            for _variable, column in sorted(
+                first_seen.items(), key=lambda item: layout[item[0]]
+            )
+        ]
+        sql = (
+            f"SELECT {', '.join(columns) if columns else '1'} "
+            f"FROM {', '.join(tables)}"
+        )
+        if conditions:
+            sql += " WHERE " + " AND ".join(conditions)
+        cursor = store.connection.execute(sql, parameters)
+        if not columns:
+            return [() for _row in cursor.fetchall()]
+        return [
+            tuple(decode_value(value) for value in row)
+            for row in cursor.fetchall()
+        ]
+
+
+class _BatchContext:
+    """Shared per-instance state for the one-shot post-chase joins."""
+
+    __slots__ = ("instance", "options", "cache", "mirror", "plan_log")
+
+    def __init__(
+        self,
+        instance: Instance,
+        options: BatchOptions,
+        plan_log: dict[str, str] | None = None,
+    ) -> None:
+        self.instance = instance
+        self.options = options
+        self.cache = _IndexCache(instance)
+        self.mirror = _SQLiteMirror(instance)
+        self.plan_log = plan_log
+
+    def rows(self, label: str, atoms: Sequence[Atom]) -> tuple[_BodyPlan, list[tuple]]:
+        plan = _BodyPlan(self.instance, atoms)
+        mode = plan_mode(self.instance, atoms, self.options)
+        if mode == "sqlite":
+            try:
+                rows = plan.rows_sqlite(self.mirror)
+            except TypeError:
+                # Unencodable value (e.g. a boolean): the mirror cannot
+                # represent this instance; run the hash join instead.
+                mode = "hash"
+                rows = plan.rows_hash(self.cache)
+        elif mode == "nested":
+            rows = plan.rows_nested(self.instance)
+        else:
+            rows = plan.rows_hash(self.cache)
+        if self.plan_log is not None:
+            self.plan_log[label] = mode
+        return plan, rows
+
+
+# -------------------------------------------------------------------- chase
+
+
+class _PivotPlan:
+    """One (rule, pivot-position) batch plan for the semi-naive chase.
+
+    The pivot atom seeds rows directly from delta facts; the remaining
+    atoms are probe steps against the (round-stable) work instance.
+    """
+
+    __slots__ = ("rule", "pivot", "steps", "ground", "layout")
+
+    def __init__(self, instance: Instance, rule: TGD, position: int) -> None:
+        self.rule = rule
+        self.pivot = rule.body[position]
+        self.layout: dict[Variable, int] = {}
+        seed_step = _AtomStep(self.pivot, self.layout)
+        rest = [a for i, a in enumerate(rule.body) if i != position]
+        ordered = plan_join_order(instance, rest, set(self.layout))
+        self.steps = [seed_step] + [
+            _AtomStep(atom, self.layout) for atom in ordered
+        ]
+        self.ground = compile_slot_head(rule, self.layout)
+
+    def seed_rows(self, facts: Iterable[Fact]) -> list[tuple]:
+        admit = self.steps[0].admit
+        rows = []
+        for fact in facts:
+            entry = admit(fact)
+            if entry is not None:
+                rows.append(entry[1])
+        return rows
+
+
+def batch_chase(
+    instance: Instance,
+    rules: Sequence[TGD],
+    max_rounds: int = 1_000_000,
+    stats: dict[str, int] | None = None,
+    options: BatchOptions = DEFAULT_OPTIONS,
+) -> Instance:
+    """Strict-round semi-naive fixpoint, evaluated set-at-a-time.
+
+    Bit-identical to :func:`repro.chase.gav.gav_chase` (same fixpoint,
+    same ``rounds``/``derived_facts`` counters): both use strict rounds,
+    so the per-round derivation set is a pure function of the (work,
+    delta) sets and the evaluation strategy cannot be observed.
+    """
+    from repro.chase.gav import _check_rules
+
+    _check_rules(rules)
+    work = instance.copy()
+    cache = _IndexCache(work)
+    by_relation: dict[str, list[_PivotPlan]] = {}
+    for rule in rules:
+        for position in range(len(rule.body)):
+            plan = _PivotPlan(work, rule, position)
+            by_relation.setdefault(plan.pivot.relation, []).append(plan)
+
+    delta = list(instance)
+    rounds = 0
+    while delta:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(f"batch_chase exceeded {max_rounds} rounds")
+        delta_by_relation: dict[str, list[Fact]] = {}
+        for fact in delta:
+            delta_by_relation.setdefault(fact.relation, []).append(fact)
+        pending: set[Fact] = set()
+        for relation, facts in delta_by_relation.items():
+            for plan in by_relation.get(relation, ()):
+                rows = plan.seed_rows(facts)
+                for step in plan.steps[1:]:
+                    if not rows:
+                        break
+                    rows = _probe(step, cache.index_for(step), rows)
+                ground = plan.ground
+                for row in rows:
+                    head_fact = ground(row)
+                    if head_fact not in work:
+                        pending.add(head_fact)
+        delta = list(pending)
+        for head_fact in delta:
+            work.add(head_fact)
+            cache.add_fact(head_fact)
+    if stats is not None:
+        stats["rounds"] = rounds
+        stats["derived_facts"] = len(work) - len(instance)
+    return work
+
+
+# ------------------------------------------------- groundings and violations
+
+
+def enumerate_groundings_batch(
+    rules: Iterable[TGD],
+    instance: Instance,
+    options: BatchOptions = DEFAULT_OPTIONS,
+    plan_log: dict[str, str] | None = None,
+) -> Iterator[tuple[TGD, tuple[Fact, ...], Fact]]:
+    """Batch equivalent of :func:`repro.chase.gav.enumerate_groundings`.
+
+    Same dedup semantics — one grounding per distinct ``(body facts, head
+    fact)`` pair per rule, tautological groundings (head in own body)
+    dropped — but each rule body is one planned batch join instead of a
+    per-binding nested loop.  In hash mode the matched body facts come
+    straight from the join's provenance (no re-instantiation by
+    substitution); nested/SQLite rows carry values only, so those modes
+    substitute.  Yield order within a rule follows the join, which is
+    *not* the tuple path's order; callers canonicalize.
+    """
+    context = _BatchContext(instance, options, plan_log)
+    for rule in rules:
+        mode = plan_mode(instance, rule.body, options)
+        plan = _BodyPlan(instance, rule.body)
+        tracked: list[tuple[tuple, tuple]] | None = None
+        rows: list[tuple] = []
+        if mode == "sqlite":
+            try:
+                rows = plan.rows_sqlite(context.mirror)
+            except TypeError:
+                mode = "hash"
+        if mode == "nested":
+            rows = plan.rows_nested(instance)
+        elif mode == "hash":
+            tracked = plan.rows_hash_tracked(context.cache)
+        if context.plan_log is not None:
+            context.plan_log[rule.label] = mode
+        ground = compile_slot_head(rule, plan.layout)
+        seen: set[tuple[tuple[Fact, ...], Fact]] = set()
+        if tracked is not None:
+            body_of = _tuple_projector(plan.body_order)
+            for values, provenance in tracked:
+                body_facts = body_of(provenance)
+                head_fact = ground(values)
+                if head_fact in body_facts:
+                    continue
+                key = (body_facts, head_fact)
+                if key not in seen:
+                    seen.add(key)
+                    yield rule, body_facts, head_fact
+        else:
+            substituters = tuple(
+                compile_slot_substituter(atom, plan.layout)
+                for atom in rule.body
+            )
+            for row in rows:
+                body_facts = tuple(sub(row) for sub in substituters)
+                head_fact = ground(row)
+                if head_fact in body_facts:
+                    continue
+                key = (body_facts, head_fact)
+                if key not in seen:
+                    seen.add(key)
+                    yield rule, body_facts, head_fact
+
+
+def find_violations_batch(
+    egds: Sequence[EGD],
+    chased: Instance,
+    options: BatchOptions = DEFAULT_OPTIONS,
+    plan_log: dict[str, str] | None = None,
+) -> list:
+    """All grounded-egd violations, one planned batch join per egd.
+
+    Returns raw :class:`~repro.xr.exchange.Violation` objects including
+    both orientations of symmetric egds; callers dedup through
+    :func:`repro.xr.exchange.canonicalize_violations`, exactly as the
+    tuple path does.
+    """
+    from repro.xr.exchange import Violation
+
+    context = _BatchContext(chased, options, plan_log)
+    violations = []
+    for egd in egds:
+        plan, rows = context.rows(egd.label, egd.body)
+        if not rows:
+            continue
+        substituters = tuple(
+            compile_slot_substituter(atom, plan.layout) for atom in egd.body
+        )
+        lhs_slot = plan.layout[egd.lhs]
+        rhs_is_var = isinstance(egd.rhs, Variable)
+        rhs_slot = plan.layout[egd.rhs] if rhs_is_var else None
+        rhs_const = None if rhs_is_var else egd.rhs.value
+        constants_only = egd.constants_only
+        for row in rows:
+            lhs_value = row[lhs_slot]
+            rhs_value = row[rhs_slot] if rhs_is_var else rhs_const
+            if lhs_value == rhs_value:
+                continue
+            if constants_only and not (
+                is_constant_value(lhs_value) and is_constant_value(rhs_value)
+            ):
+                continue
+            body_facts = tuple(sub(row) for sub in substituters)
+            violations.append(Violation(egd, body_facts, lhs_value, rhs_value))
+    return violations

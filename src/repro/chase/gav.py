@@ -187,10 +187,16 @@ def gav_chase(
 ) -> Instance:
     """Compute the least fixpoint of ``rules`` over ``instance`` (a copy).
 
-    Semi-naive evaluation: round ``k`` matches each rule body with at least
-    one atom bound to a fact derived in round ``k - 1``.  A prebuilt
-    ``index`` (:class:`RuleIndex` over the same rules) can be passed to
-    share compiled joins across repeated chases.
+    Semi-naive evaluation with *strict* rounds: round ``k`` matches each
+    rule body with at least one atom bound to a fact derived in round
+    ``k - 1``, and facts derived in round ``k`` only become visible to
+    joins in round ``k + 1``.  Strict rounds make the per-round derivation
+    set — and therefore the ``rounds`` counter — a pure function of
+    (instance, rules), independent of fact iteration order, which is what
+    lets the batch evaluator (:mod:`repro.chase.batch`) reproduce the
+    counters bit-for-bit.  A prebuilt ``index`` (:class:`RuleIndex` over
+    the same rules) can be passed to share compiled joins across repeated
+    chases.
 
     When ``stats`` is a dict, the deterministic work counters ``rounds``
     (semi-naive delta iterations) and ``derived_facts`` (facts added
@@ -208,23 +214,27 @@ def gav_chase(
         rounds += 1
         if rounds > max_rounds:
             raise RuntimeError(f"gav_chase exceeded {max_rounds} rounds")
-        next_delta: list[Fact] = []
+        pending: set[Fact] = set()
         for fact in delta:
             for entry in index.entries_for(fact.relation):
                 seed = entry.seed(fact)
                 if seed is None:
                     continue
                 join = entry.join(work)
-                # Buffer heads: adding to `work` while the join iterates
-                # over it would mutate the live extension sets.
+                # Buffer heads until the round ends: a derivation that
+                # needs an in-round fact fires next round instead, so the
+                # fixpoint is unchanged but each round's output depends
+                # only on the (work, delta) sets.
                 derived = [
                     entry.ground(binding)
                     for binding in join.bindings(work, seed)
                 ]
                 for head_fact in derived:
-                    if work.add(head_fact):
-                        next_delta.append(head_fact)
-        delta = next_delta
+                    if head_fact not in work:
+                        pending.add(head_fact)
+        delta = list(pending)
+        for head_fact in delta:
+            work.add(head_fact)
     if stats is not None:
         stats["rounds"] = rounds
         stats["derived_facts"] = len(work) - len(instance)

@@ -40,7 +40,7 @@ from repro.relational.schema import RelationSymbol, Schema
 from repro.relational.terms import Const, Variable
 from repro.scenarios.ibench import random_ibench_scenario
 
-PROFILES = ("freeform", "ibench", "mixed")
+PROFILES = ("freeform", "ibench", "mixed", "tpch")
 
 
 @dataclass(frozen=True)
@@ -72,6 +72,12 @@ class FuzzConfig:
     # -- ibench profile --
     ibench_primitives: int = 2
     ibench_keys: int = 2
+    # -- tpch profile (fuzz-sized cells; the bench grid goes bigger) --
+    tpch_max_scale: float = 0.005
+    # -- exchange evaluation strategy for every engine in the matrix
+    # (the differential runner additionally cross-checks the *other*
+    # strategy on a dedicated axis regardless of this setting) --
+    exchange_strategy: str = "batch"
     # -- differential config matrix --
     use_oracle: bool = True
     oracle_max_facts: int = 9
@@ -97,6 +103,13 @@ class FuzzConfig:
     def __post_init__(self) -> None:
         if self.profile not in PROFILES:
             raise ValueError(f"unknown profile {self.profile!r}; pick from {PROFILES}")
+        if self.exchange_strategy not in ("batch", "tuple"):
+            raise ValueError(
+                f"unknown exchange strategy {self.exchange_strategy!r}; "
+                "choose 'batch' or 'tuple'"
+            )
+        if self.tpch_max_scale <= 0:
+            raise ValueError("tpch_max_scale must be positive")
         if not 1 <= self.min_arity <= self.max_arity:
             raise ValueError("need 1 <= min_arity <= max_arity")
         if self.min_facts > self.max_facts:
@@ -440,6 +453,40 @@ def random_ibench_fuzz_scenario(
     return Scenario(built.mapping, instance, query, label=f"ibench seed={seed}")
 
 
+# ----------------------------------------------------------- tpch profile
+
+
+def random_tpch_fuzz_scenario(
+    seed: int, config: FuzzConfig = DEFAULT_CONFIG
+) -> Scenario:
+    """A fuzz-sized cell of the TPC-H grid (scenario + random query).
+
+    The (sf, ratio) cell is drawn from the seed, capped by
+    ``config.tpch_max_scale`` so differential runs stay tractable; the
+    instance itself is the deterministic
+    :func:`repro.scenarios.tpch.tpch_scenario` generator, so the fuzzer
+    exercises exactly the same code path the benchmarks scale up.
+    """
+    from repro.scenarios.tpch import TPCH_FUZZ_RATIOS, TPCH_FUZZ_SCALES, tpch_scenario
+
+    rng = random.Random(f"tpch-profile:{seed}")
+    scale = rng.choice(
+        [sf for sf in TPCH_FUZZ_SCALES if sf <= config.tpch_max_scale]
+        or [min(TPCH_FUZZ_SCALES)]
+    )
+    ratio = rng.choice(TPCH_FUZZ_RATIOS)
+    built = tpch_scenario(scale, ratio, seed)
+    target_rels = list(built.mapping.target)
+    query_config = replace(config, constant_rate=0.0)  # tpch values are keyed
+    query = random_query(rng, target_rels, query_config)
+    return Scenario(
+        built.mapping,
+        built.instance,
+        query,
+        label=f"tpch sf={scale} ratio={ratio} seed={seed}",
+    )
+
+
 # ----------------------------------------------------------------- entry
 
 
@@ -449,6 +496,8 @@ def random_scenario(seed: int, config: FuzzConfig = DEFAULT_CONFIG) -> Scenario:
         return random_freeform_scenario(seed, config)
     if config.profile == "ibench":
         return random_ibench_fuzz_scenario(seed, config)
+    if config.profile == "tpch":
+        return random_tpch_fuzz_scenario(seed, config)
     rng = random.Random(f"profile:{seed}")
     if rng.random() < 0.7:
         return random_freeform_scenario(seed, config)

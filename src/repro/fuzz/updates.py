@@ -203,14 +203,21 @@ def check_update_stream(
     """Differentially replay ``deltas``; returns discrepancy strings.
 
     One warm incremental engine (session-maintained, cache enabled) versus
-    a fresh from-scratch engine per step.  Stops at the first failing
+    a fresh from-scratch engine per step.  Both engines build their
+    exchange with ``config.exchange_strategy``, so with the default the
+    delta-chase is validated per step against batch-built adjacency (and
+    with ``"tuple"`` against the legacy path).  Stops at the first failing
     step: later steps run on top of diverged state and would only echo it.
     Answer comparisons are skipped on solver-hard steps (see
     :data:`ANSWER_CHECK_INFLUENCE_CAP`); state comparisons never are.
     """
     problems: list[str] = []
     try:
-        engine = SegmentaryEngine(scenario.mapping, scenario.instance.copy())
+        engine = SegmentaryEngine(
+            scenario.mapping,
+            scenario.instance.copy(),
+            exchange_strategy=config.exchange_strategy,
+        )
         engine.exchange()
         session = engine.update_session()
     except Exception as error:  # noqa: BLE001 — a crash is a finding
@@ -225,7 +232,11 @@ def check_update_stream(
                 problems.append(f"crash at step {step}: {error!r}")
                 return problems
             current = apply_delta(current, delta)
-            reference = SegmentaryEngine(scenario.mapping, current.copy())
+            reference = SegmentaryEngine(
+                scenario.mapping,
+                current.copy(),
+                exchange_strategy=config.exchange_strategy,
+            )
             try:
                 reference.exchange()
                 checks = [

@@ -16,10 +16,26 @@ from repro.scenarios.ibench import (
     ScenarioBuilder,
     random_ibench_scenario,
 )
+from repro.scenarios.tpch import (
+    TPCH_FUZZ_RATIOS,
+    TPCH_FUZZ_SCALES,
+    TPCHScenario,
+    parse_tpch_name,
+    tpch_cell_name,
+    tpch_mapping,
+    tpch_scenario,
+)
 
 __all__ = [
     "PRIMITIVES",
     "IBenchScenario",
     "ScenarioBuilder",
     "random_ibench_scenario",
+    "TPCH_FUZZ_RATIOS",
+    "TPCH_FUZZ_SCALES",
+    "TPCHScenario",
+    "parse_tpch_name",
+    "tpch_cell_name",
+    "tpch_mapping",
+    "tpch_scenario",
 ]

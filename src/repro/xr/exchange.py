@@ -228,21 +228,42 @@ def grounded_egd_violation(
     return Violation(egd, body_facts, lhs_value, rhs_value)
 
 
+def canonicalize_violations(violations: list[Violation]) -> list[Violation]:
+    """One canonical representative per :func:`violation_key`, sorted.
+
+    Symmetric egds ground in two orientations and different evaluation
+    strategies encounter them in different orders; keeping the repr-least
+    representative (instead of the first encountered) and sorting the
+    result makes the violation list a pure function of the violation *set*
+    — the keystone of batch-vs-tuple bit-identity.
+    """
+    best: dict[tuple, tuple[str, Violation]] = {}
+    for violation in violations:
+        key = violation_key(violation)
+        ranked = (repr(violation), violation)
+        current = best.get(key)
+        if current is None or ranked[0] < current[0]:
+            best[key] = ranked
+    return [
+        violation
+        for _text, violation in sorted(
+            best.values(), key=lambda ranked: ranked[0]
+        )
+    ]
+
+
 def find_violations(mapping: SchemaMapping, chased: Instance) -> list[Violation]:
     """All grounded-egd violations over the chased instance (Definition 5)."""
     violations: list[Violation] = []
-    seen: set[tuple[str, frozenset[Fact], frozenset]] = set()
     for egd in mapping.target_egds:
         for binding in match_atoms(chased, list(egd.body)):
             violation = grounded_egd_violation(egd, binding)
-            if violation is None:
-                continue
-            key = violation_key(violation)
-            if key in seen:
-                continue
-            seen.add(key)
-            violations.append(violation)
-    return violations
+            if violation is not None:
+                violations.append(violation)
+    return canonicalize_violations(violations)
+
+
+EXCHANGE_STRATEGIES = ("batch", "tuple")
 
 
 def build_exchange_data(
@@ -250,8 +271,18 @@ def build_exchange_data(
     source_instance: Instance,
     timings: dict[str, float] | None = None,
     obs: Recorder | None = None,
+    strategy: str = "batch",
 ) -> ExchangeData:
     """Chase, ground, and detect violations for a ``gav+(gav, egd)`` mapping.
+
+    ``strategy`` selects the evaluation engine for the chase, grounding
+    enumeration, and violation detection: ``"batch"`` (the default) runs
+    the set-at-a-time operators of :mod:`repro.chase.batch`; ``"tuple"``
+    is the original per-tuple nested-loop path, kept as the differential
+    reference.  Both produce **bit-identical** exchange data: each
+    computes the same unique least fixpoint / grounding set / violation
+    set, and the lists and the interned id universe are put in canonical
+    (sorted) order regardless of the evaluation order that found them.
 
     When ``timings`` is a dict, per-stage wall-clock seconds are recorded
     into it under ``chase`` / ``groundings`` / ``violations`` / ``index``
@@ -260,6 +291,11 @@ def build_exchange_data(
     stage plus the deterministic work counters (chase rounds, chased
     facts, groundings, violations) — equally answer-neutral.
     """
+    if strategy not in EXCHANGE_STRATEGIES:
+        raise ValueError(
+            f"unknown exchange strategy {strategy!r}; "
+            f"expected one of {EXCHANGE_STRATEGIES}"
+        )
     if not mapping.is_gav_gav_egd():
         raise ValueError(
             "exchange data requires a gav+(gav, egd) mapping; "
@@ -272,15 +308,34 @@ def build_exchange_data(
     tgds = list(mapping.all_tgds())
     chase_stats: dict[str, int] | None = {} if metrics.enabled else None
     started = clock()
-    with tracer.span("exchange.chase"):
-        chased = gav_chase(source_instance, tgds, stats=chase_stats)
-    chased_at = clock()
-    with tracer.span("exchange.groundings"):
-        groundings = list(enumerate_groundings(tgds, chased))
-    grounded_at = clock()
-    with tracer.span("exchange.violations"):
-        violations = find_violations(mapping, chased)
-    violations_at = clock()
+    if strategy == "batch":
+        from repro.chase.batch import (
+            batch_chase,
+            enumerate_groundings_batch,
+            find_violations_batch,
+        )
+
+        with tracer.span("exchange.chase"):
+            chased = batch_chase(source_instance, tgds, stats=chase_stats)
+        chased_at = clock()
+        with tracer.span("exchange.groundings"):
+            groundings = list(enumerate_groundings_batch(tgds, chased))
+        grounded_at = clock()
+        with tracer.span("exchange.violations"):
+            violations = canonicalize_violations(
+                find_violations_batch(mapping.target_egds, chased)
+            )
+        violations_at = clock()
+    else:
+        with tracer.span("exchange.chase"):
+            chased = gav_chase(source_instance, tgds, stats=chase_stats)
+        chased_at = clock()
+        with tracer.span("exchange.groundings"):
+            groundings = list(enumerate_groundings(tgds, chased))
+        grounded_at = clock()
+        with tracer.span("exchange.violations"):
+            violations = find_violations(mapping, chased)
+        violations_at = clock()
     data = ExchangeData(
         mapping=mapping,
         source_instance=source_instance,
@@ -289,6 +344,27 @@ def build_exchange_data(
         violations=violations,
     )
     with tracer.span("exchange.index"):
+        # Canonical grounding order: rule position, then head/body reprs.
+        # Violations are already canonical (canonicalize_violations); the
+        # chased facts are interned in sorted order by _build_fact_indexes.
+        # After this, every list and id in the exchange data is a pure
+        # function of the computed *sets* — strategy-independent.
+        rule_positions = {id(rule): index for index, rule in enumerate(tgds)}
+        fact_reprs: dict[Fact, str] = {}
+
+        def _repr_of(fact: Fact) -> str:
+            text = fact_reprs.get(fact)
+            if text is None:
+                text = fact_reprs[fact] = repr(fact)
+            return text
+
+        groundings.sort(
+            key=lambda grounding: (
+                rule_positions[id(grounding[0])],
+                _repr_of(grounding[2]),
+                tuple(_repr_of(fact) for fact in grounding[1]),
+            )
+        )
         _build_fact_indexes(data)
     if timings is not None:
         indexed_at = clock()
@@ -320,7 +396,10 @@ def _build_fact_indexes(data: ExchangeData) -> None:
     same pass for external callers.
     """
     intern = data.intern_fact
-    for fact in data.chased:
+    # Sorted interning gives fresh builds a canonical id universe (the
+    # same for every evaluation strategy); on a rebuild the ids already
+    # exist and interning is an order-insensitive no-op lookup.
+    for fact in sorted(data.chased, key=repr):
         intern(fact)
 
     groundings_by_head = data.groundings_by_head

@@ -136,6 +136,7 @@ class ExchangePhaseStats:
     clusters: int = 0
     suspect_source_facts: int = 0
     safe_source_facts: int = 0
+    strategy: str = "batch"
 
 
 # A shared empty program for groups fully decided by the caches.
@@ -218,6 +219,7 @@ class SegmentaryEngine:
         budget: SolveBudget | None = None,
         obs: Recorder | None = None,
         solve_strategy: str = "incremental",
+        exchange_strategy: str = "batch",
     ):
         if isinstance(mapping, ReducedMapping):
             self.reduced = mapping
@@ -232,6 +234,12 @@ class SegmentaryEngine:
                 "'incremental' or 'per-signature'"
             )
         self.solve_strategy = solve_strategy
+        if exchange_strategy not in ("batch", "tuple"):
+            raise ValueError(
+                f"unknown exchange strategy {exchange_strategy!r}; choose "
+                "'batch' or 'tuple'"
+            )
+        self.exchange_strategy = exchange_strategy
         self.jobs = jobs
         self.budget = budget if budget is not None else NO_BUDGET
         self.obs = obs if obs is not None else NOOP_RECORDER
@@ -308,7 +316,10 @@ class SegmentaryEngine:
         started = time.perf_counter()
         with tracer.span("exchange"):
             data = build_exchange_data(
-                self.reduced.gav, self.instance, obs=self.obs
+                self.reduced.gav,
+                self.instance,
+                obs=self.obs,
+                strategy=self.exchange_strategy,
             )
             with tracer.span("exchange.envelope"):
                 analysis = analyze_envelopes(data)
@@ -321,6 +332,7 @@ class SegmentaryEngine:
             clusters=len(analysis.clusters),
             suspect_source_facts=len(analysis.suspect_source),
             safe_source_facts=len(analysis.safe_source),
+            strategy=self.exchange_strategy,
         )
         # Publish only once everything (stats included) is complete: the
         # unlocked fast path above keys on `analysis is not None`.
@@ -380,6 +392,7 @@ class SegmentaryEngine:
             clusters=len(self.analysis.clusters),
             suspect_source_facts=len(self.analysis.suspect_source),
             safe_source_facts=len(self.analysis.safe_source),
+            strategy=self.exchange_strategy,
         )
 
     # --------------------------------------------------------- query phase

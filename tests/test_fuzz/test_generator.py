@@ -18,7 +18,7 @@ SEEDS = range(30)
 
 
 def test_profiles_exposed():
-    assert set(PROFILES) == {"freeform", "ibench", "mixed"}
+    assert set(PROFILES) == {"freeform", "ibench", "mixed", "tpch"}
     assert DEFAULT_CONFIG.profile == "mixed"
 
 

@@ -175,6 +175,20 @@ class TestCorpus:
         for path, problems in replay_update_corpus(UPDATES_CORPUS):
             assert not problems, f"{path.name}: " + "; ".join(problems)
 
+    def test_corpus_replays_clean_under_both_exchange_strategies(self):
+        """Incremental-on-batch (PR 10 satellite): the PR 7 update corpus
+        must stay per-step bit-identical when both the warm engine and the
+        from-scratch reference build their exchange with the batch
+        operators — and with the tuple path, for symmetry."""
+        from dataclasses import replace
+
+        for strategy in ("batch", "tuple"):
+            config = replace(DEFAULT_CONFIG, exchange_strategy=strategy)
+            for path, problems in replay_update_corpus(UPDATES_CORPUS, config):
+                assert not problems, (
+                    f"{path.name} [{strategy}]: " + "; ".join(problems)
+                )
+
     def test_generated_entries_match_their_seeds(self):
         """Seed-named corpus files are regenerable byte-for-byte."""
         for path, _, _ in load_update_corpus(UPDATES_CORPUS):

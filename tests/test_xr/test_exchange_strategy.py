@@ -1,0 +1,128 @@
+"""The batch-vs-tuple differential battery (PR 10 satellite 1).
+
+``build_exchange_data(strategy="batch")`` must be **bit-identical** to
+``strategy="tuple"`` — same chased instance, same canonical grounding and
+violation lists, same interned id universe and adjacency arrays, same
+cluster partition — across the fuzz corpus, freeform/iBench fuzz seeds,
+and the TPC-H grid.  The full-engine cross-check (answers under either
+strategy, including the ``segmentary-*-exchange`` axis inside
+``run_differential``) rides on top.
+"""
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import load_corpus
+from repro.fuzz.differential import run_differential
+from repro.fuzz.generator import DEFAULT_CONFIG, random_scenario
+from repro.reduction.reduce import reduce_mapping
+from repro.scenarios.tpch import tpch_scenario
+from repro.xr.envelope import analyze_envelopes
+from repro.xr.exchange import EXCHANGE_STRATEGIES, build_exchange_data
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+
+#: Every strategy-sensitive artifact of the exchange computation.
+COMPARED_FIELDS = (
+    "groundings",
+    "violations",
+    "supports_of",
+    "occurs_in_body_of",
+    "fact_ids",
+    "facts_by_id",
+    "grounding_bodies",
+    "grounding_heads",
+)
+
+
+def assert_identical_exchange(mapping, instance, label):
+    gav = mapping if mapping.is_gav_gav_egd() else reduce_mapping(mapping).gav
+    results = {
+        strategy: build_exchange_data(gav, instance, strategy=strategy)
+        for strategy in EXCHANGE_STRATEGIES
+    }
+    batch, reference = results["batch"], results["tuple"]
+    # The Instance's iteration order is incidental (chase insertion
+    # order); the canonical order lives in the interned universe
+    # (``facts_by_id``), compared below.
+    assert set(batch.chased) == set(reference.chased), f"{label}: chased"
+    for name in COMPARED_FIELDS:
+        assert getattr(batch, name) == getattr(reference, name), f"{label}: {name}"
+    batch_clusters = {
+        frozenset(map(repr, c.violations))
+        for c in analyze_envelopes(batch).clusters
+    }
+    reference_clusters = {
+        frozenset(map(repr, c.violations))
+        for c in analyze_envelopes(reference).clusters
+    }
+    assert batch_clusters == reference_clusters, f"{label}: clusters"
+
+
+class TestFuzzSeeds:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_freeform_and_mixed_seeds(self, seed):
+        scenario = random_scenario(seed, DEFAULT_CONFIG)
+        assert_identical_exchange(
+            scenario.mapping, scenario.instance, f"seed {seed}"
+        )
+
+    @pytest.mark.parametrize("seed", (0, 3, 11, 17, 29))
+    def test_ibench_seeds(self, seed):
+        config = replace(DEFAULT_CONFIG, profile="ibench")
+        scenario = random_scenario(seed, config)
+        assert_identical_exchange(
+            scenario.mapping, scenario.instance, f"ibench seed {seed}"
+        )
+
+
+class TestCorpusAndTpch:
+    def test_checked_in_corpus(self):
+        entries = load_corpus(CORPUS_DIR)
+        assert entries
+        for path, scenario in entries:
+            assert_identical_exchange(
+                scenario.mapping, scenario.instance, path.name
+            )
+
+    @pytest.mark.parametrize(
+        "scale,ratio,seed",
+        [(0.002, 0.0, 0), (0.005, 0.2, 1), (0.005, 0.5, 2), (0.01, 0.2, 0)],
+    )
+    def test_tpch_grid(self, scale, ratio, seed):
+        scenario = tpch_scenario(scale, ratio, seed)
+        assert_identical_exchange(
+            scenario.mapping, scenario.instance,
+            f"tpch sf={scale} r={ratio} seed={seed}",
+        )
+
+
+class TestEngineCross:
+    def test_run_differential_covers_both_strategies(self):
+        """The differential harness itself runs a cross-strategy engine
+        axis; a clean report therefore certifies answer-level agreement."""
+        config = replace(
+            DEFAULT_CONFIG, use_oracle=False, check_parallel=False
+        )
+        scenario = random_scenario(12, config)
+        report = run_differential(scenario, config)
+        assert any(
+            name.startswith("segmentary-tuple-exchange")
+            for name in report.engines
+        )
+        assert report.ok, "; ".join(str(d) for d in report.discrepancies)
+
+    def test_tuple_strategy_config_flips_cross_axis(self):
+        config = replace(
+            DEFAULT_CONFIG, use_oracle=False, check_parallel=False,
+            exchange_strategy="tuple",
+        )
+        scenario = random_scenario(12, config)
+        report = run_differential(scenario, config)
+        assert any(
+            name.startswith("segmentary-batch-exchange")
+            for name in report.engines
+        )
+        assert report.ok, "; ".join(str(d) for d in report.discrepancies)
